@@ -1,0 +1,43 @@
+# SummitScale build targets. Everything is stdlib-only Go; no external
+# dependencies are fetched.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full reproduction report: every table/figure/study, paper vs measured.
+repro:
+	$(GO) run ./cmd/summit-repro
+
+# One-shot run of every example.
+examples:
+	for d in examples/*/; do \
+		[ -f $$d/main.go ] || continue; \
+		echo "== $$d =="; \
+		$(GO) run ./$$d || exit 1; \
+	done
+
+# Regenerate the paper's figures as SVG under ./figures/.
+figures:
+	$(GO) run ./cmd/summit-report -svg figures
+	$(GO) run ./cmd/summit-scale -svg figures >/dev/null
+
+clean:
+	rm -rf figures

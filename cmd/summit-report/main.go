@@ -1,0 +1,100 @@
+// Command summit-report regenerates the paper's portfolio-study artifacts:
+// Tables I-III and Figures 1-6 (§II-IV), from the reconstructed project
+// dataset.
+//
+// Usage:
+//
+//	summit-report            # everything
+//	summit-report -fig 4     # one figure
+//	summit-report -table 3   # one table
+//	summit-report -gb        # the §IV-A Gordon Bell review
+//	summit-report -seed 7    # alternative dataset seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"summitscale/internal/portfolio"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render a single figure (1-6)")
+	table := flag.Int("table", 0, "render a single table (1-3)")
+	gb := flag.Bool("gb", false, "render the Gordon Bell AI/ML finalist review")
+	hours := flag.Bool("hours", false, "render the allocation-hours view")
+	csvOut := flag.String("csv", "", "export CSV to stdout: projects | fig2 | fig6")
+	svgDir := flag.String("svg", "", "write all six figures as SVG files into this directory")
+	seed := flag.Uint64("seed", 1, "portfolio dataset seed")
+	flag.Parse()
+
+	d := portfolio.Generate(*seed)
+	figs := map[int]func() string{
+		1: d.RenderFigure1, 2: d.RenderFigure2, 3: d.RenderFigure3,
+		4: d.RenderFigure4, 5: d.RenderFigure5, 6: d.RenderFigure6,
+	}
+	tables := map[int]func() string{
+		1: portfolio.RenderTableI, 2: portfolio.RenderTableII, 3: portfolio.RenderTableIII,
+	}
+
+	switch {
+	case *svgDir != "":
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "summit-report: %v\n", err)
+			os.Exit(1)
+		}
+		for stem, svg := range d.AllFigureSVGs() {
+			path := filepath.Join(*svgDir, stem+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "summit-report: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *csvOut != "":
+		var err error
+		switch *csvOut {
+		case "projects":
+			err = d.WriteProjectsCSV(os.Stdout)
+		case "fig2":
+			err = d.WriteFigure2CSV(os.Stdout)
+		case "fig6":
+			err = d.WriteFigure6CSV(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "summit-report: unknown csv export %q\n", *csvOut)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "summit-report: %v\n", err)
+			os.Exit(1)
+		}
+	case *fig != 0:
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "summit-report: no figure %d\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(f())
+	case *table != 0:
+		t, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "summit-report: no table %d\n", *table)
+			os.Exit(2)
+		}
+		fmt.Print(t())
+	case *gb:
+		fmt.Print(portfolio.RenderGordonBellReview())
+	case *hours:
+		fmt.Print(d.RenderHours())
+	default:
+		for i := 1; i <= 3; i++ {
+			fmt.Println(tables[i]())
+		}
+		for i := 1; i <= 6; i++ {
+			fmt.Println(figs[i]())
+		}
+		fmt.Print(portfolio.RenderGordonBellReview())
+	}
+}

@@ -1,0 +1,29 @@
+// Command summit-repro runs the complete reproduction: every table,
+// figure, scaling study, system-requirement analysis, and workflow case
+// study, with paper-vs-measured comparisons. Exit status 1 if any metric
+// falls outside its tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"summitscale/internal/core"
+)
+
+func main() {
+	md := flag.Bool("md", false, "emit a markdown paper-vs-measured table instead of the full report")
+	flag.Parse()
+	if *md {
+		fmt.Print(core.RenderMarkdown())
+		return
+	}
+	report, pass := core.RunAll()
+	fmt.Print(report)
+	if !pass {
+		fmt.Fprintln(os.Stderr, "summit-repro: one or more metrics deviate from the paper")
+		os.Exit(1)
+	}
+	fmt.Println("summit-repro: all experiments within tolerance")
+}

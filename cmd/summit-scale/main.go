@@ -1,0 +1,55 @@
+// Command summit-scale regenerates the §IV-B extreme-scale training
+// studies: per-study weak-scaling curves and the paper-vs-measured
+// comparison of efficiency and sustained rate.
+//
+// Usage:
+//
+//	summit-scale                 # all five studies
+//	summit-scale -study S4       # one study (S1..S5, case-insensitive)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"summitscale/internal/core"
+)
+
+func main() {
+	study := flag.String("study", "", "study id (S1..S5); empty = all")
+	svgDir := flag.String("svg", "", "also write efficiency-curve SVGs into this directory")
+	flag.Parse()
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "summit-scale: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	want := strings.ToUpper(*study)
+	found := false
+	for _, s := range core.ScalingStudies() {
+		if want != "" && s.ID != want {
+			continue
+		}
+		found = true
+		e, _ := core.ByID(s.ID)
+		fmt.Print(core.RenderResult(e, e.Run()))
+		fmt.Println()
+		if *svgDir != "" {
+			path := filepath.Join(*svgDir, strings.ToLower(s.ID)+".svg")
+			if err := os.WriteFile(path, []byte(core.RenderScalingSVG(s)), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "summit-scale: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "summit-scale: unknown study %q\n", *study)
+		os.Exit(2)
+	}
+}

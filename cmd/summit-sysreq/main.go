@@ -1,0 +1,40 @@
+// Command summit-sysreq regenerates the §VI-B hardware-requirement
+// analyses: the training-input I/O study (GPFS vs node-local NVMe) and
+// the allreduce communication study (ResNet-50 vs BERT-large).
+//
+// Usage:
+//
+//	summit-sysreq         # both analyses
+//	summit-sysreq -io     # I/O only
+//	summit-sysreq -comm   # communication only
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"summitscale/internal/core"
+)
+
+func main() {
+	io := flag.Bool("io", false, "I/O analysis only")
+	comm := flag.Bool("comm", false, "communication analysis only")
+	roofline := flag.Bool("roofline", false, "device roofline analysis only")
+	flag.Parse()
+
+	all := !*io && !*comm && !*roofline
+	if *io || all {
+		e, _ := core.ByID("IO1")
+		fmt.Print(core.RenderResult(e, e.Run()))
+		fmt.Println()
+	}
+	if *comm || all {
+		e, _ := core.ByID("C1")
+		fmt.Print(core.RenderResult(e, e.Run()))
+		fmt.Println()
+	}
+	if *roofline || all {
+		e, _ := core.ByID("R1")
+		fmt.Print(core.RenderResult(e, e.Run()))
+	}
+}

@@ -1,0 +1,85 @@
+// Command summit-topo explores the fat-tree fabric model: topology sizes,
+// routing paths, and congestion under the collective traffic patterns of
+// §VI-B (neighbour rings vs incast), with adaptive vs static routing.
+//
+// Usage:
+//
+//	summit-topo -radix 16                 # topology summary + traffic study
+//	summit-topo -radix 8 -route 0,100     # show the path between two hosts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"summitscale/internal/netsim"
+	"summitscale/internal/stats"
+	"summitscale/internal/topology"
+	"summitscale/internal/units"
+)
+
+func main() {
+	radix := flag.Int("radix", 16, "fat-tree switch radix (even)")
+	route := flag.String("route", "", "src,dst host pair to trace")
+	flag.Parse()
+
+	ft := topology.NewFatTree(*radix)
+	fmt.Printf("k=%d fat tree: %d hosts, %d pods, %d edge+%d agg per pod, %d core switches\n",
+		ft.Radix, ft.HostCount, ft.PodCount, ft.EdgePerPod, ft.AggPerPod, ft.CoreCount)
+
+	if *route != "" {
+		parts := strings.Split(*route, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "summit-topo: -route wants src,dst")
+			os.Exit(2)
+		}
+		src, err1 := strconv.Atoi(parts[0])
+		dst, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(os.Stderr, "summit-topo: bad -route hosts")
+			os.Exit(2)
+		}
+		path := ft.Route(src, dst, true)
+		fmt.Printf("adaptive route %d -> %d (%d links):", src, dst, len(path)-1)
+		for _, v := range path {
+			fmt.Printf(" %v", v)
+		}
+		fmt.Println()
+		return
+	}
+
+	// Traffic study: ring vs permutation vs incast, adaptive vs static.
+	fmt.Println("\nmax link load under collective traffic patterns:")
+	fmt.Println("  pattern           static  adaptive")
+	ringS := ft.RingNeighborTraffic(ft.HostCount, false)
+	ringA := ft.RingNeighborTraffic(ft.HostCount, true)
+	fmt.Printf("  neighbour ring   %7d  %8d\n", ringS, ringA)
+
+	rng := stats.NewRNG(1)
+	perm := rng.Perm(ft.HostCount)
+	measure := func(adaptive bool) int {
+		ft.ResetLoad()
+		for s, d := range perm {
+			if s != d {
+				ft.AddFlow(s, d, adaptive)
+			}
+		}
+		return ft.MaxLinkLoad()
+	}
+	fmt.Printf("  permutation      %7d  %8d\n", measure(false), measure(true))
+
+	ft.ResetLoad()
+	for s := 1; s < ft.HostCount; s++ {
+		ft.AddFlow(s, 0, true)
+	}
+	fmt.Printf("  incast to host 0 %7d  (inherent)\n", ft.MaxLinkLoad())
+
+	// Fluid-model timings for a ring allreduce step at Summit link rates.
+	chunk := units.Bytes(10 * units.MB)
+	tm := netsim.RingStepTime(topology.NewFatTree(*radix), ft.HostCount, chunk,
+		25*units.GBps, 1.5e-6)
+	fmt.Printf("\nring step of %v/host on 25 GB/s links: %v\n", chunk, tm)
+}

@@ -1,0 +1,43 @@
+// Command summit-workflow runs the §V AI-coordinated workflow case
+// studies: the materials active-learning loop (Liu et al.), the
+// multi-facility biology campaign (Trifan et al.), and the drug-lead
+// discovery loop (Saadi et al.).
+//
+// Usage:
+//
+//	summit-workflow                   # all three
+//	summit-workflow -case materials   # W1
+//	summit-workflow -case biology     # W2
+//	summit-workflow -case drug        # W3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"summitscale/internal/core"
+)
+
+func main() {
+	which := flag.String("case", "", "materials | biology | drug; empty = all")
+	flag.Parse()
+
+	ids := map[string]string{"materials": "W1", "biology": "W2", "drug": "W3"}
+	var run []string
+	if *which == "" {
+		run = []string{"W1", "W2", "W3"}
+	} else {
+		id, ok := ids[*which]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "summit-workflow: unknown case %q\n", *which)
+			os.Exit(2)
+		}
+		run = []string{id}
+	}
+	for _, id := range run {
+		e, _ := core.ByID(id)
+		fmt.Print(core.RenderResult(e, e.Run()))
+		fmt.Println()
+	}
+}

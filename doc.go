@@ -1,0 +1,11 @@
+// Package summitscale reproduces "Learning to Scale the Summit: AI for
+// Science on a Leadership Supercomputer" (Joubert et al., IPPS 2022): the
+// OLCF portfolio study (Tables I-III, Figures 1-6), the §IV-B extreme-
+// scale training studies, the §VI-B hardware-requirement analyses, and
+// the §V AI-coordinated workflow case studies.
+//
+// The library lives under internal/; the entry points are the binaries in
+// cmd/ (summit-repro runs everything), the runnable examples under
+// examples/, and the benchmark harness in bench_test.go, which regenerates
+// every table and figure of the paper.
+package summitscale

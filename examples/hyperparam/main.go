@@ -1,0 +1,56 @@
+// Hyperparam: a miniature of Patton et al.'s 2018 Gordon Bell finalist
+// (§IV-A.2) — evolutionary hyperparameter and topology search for neural
+// networks (the MENNDL lineage), where a population of candidate
+// configurations trains concurrently (Summit ran one candidate per node
+// across 4200 nodes; here, one per goroutine).
+//
+// The task is cyclone detection on synthetic climate fields; the search
+// evolves layer count, width, learning rate, and activation.
+//
+// Run with: go run ./examples/hyperparam
+package main
+
+import (
+	"fmt"
+
+	"summitscale/internal/data"
+	"summitscale/internal/hpo"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+func main() {
+	// Flattened climate fields as MLP input.
+	src := data.NewClimateImages(3, 96, 1, 8)
+	flatten := func(lo, hi int) (*tensor.Tensor, []int) {
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, y := data.BatchImages(src, idx)
+		return x.Reshape(hi-lo, 64), y
+	}
+	trainX, trainY := flatten(0, 64)
+	valX, valY := flatten(64, 96)
+	task := hpo.Task{
+		TrainX: trainX, TrainY: trainY,
+		ValX: valX, ValY: valY,
+		TrainSteps: 60,
+	}
+
+	cfg := hpo.DefaultConfig()
+	cfg.Population = 16
+	cfg.Generations = 6
+	fmt.Printf("evolving %d candidates for %d generations (concurrent evaluation)\n",
+		cfg.Population, cfg.Generations)
+	pop, best := hpo.Search(stats.NewRNG(1), hpo.DefaultSpace(), cfg, task)
+
+	fmt.Println("best validation accuracy per generation:")
+	for g, b := range best {
+		fmt.Printf("  gen %d: %.1f%%\n", g, 100*b)
+	}
+	fmt.Println("\ntop configurations:")
+	for i := 0; i < 3 && i < len(pop); i++ {
+		fmt.Printf("  %.1f%%  %v\n", 100*pop[i].Score, pop[i].Genome)
+	}
+}

@@ -1,0 +1,3 @@
+module summitscale
+
+go 1.22

@@ -1,0 +1,452 @@
+// Package autograd implements tape-free reverse-mode automatic
+// differentiation over internal/tensor values. Each operation records its
+// parents and a backward closure; Backward runs the closures in reverse
+// topological order.
+//
+// This is the differentiation engine beneath internal/nn. It supports the
+// operations needed by the model zoo: dense algebra, convolution, pooling,
+// pointwise nonlinearities, normalization statistics, and the fused
+// softmax-cross-entropy loss.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"summitscale/internal/tensor"
+)
+
+// Value is a node in the computation graph: a tensor plus (optionally) its
+// gradient and the recipe to propagate gradients to its parents.
+type Value struct {
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	parents      []*Value
+	backward     func()
+}
+
+// NewLeaf wraps t as a graph leaf. If requiresGrad is true, Backward will
+// accumulate into v.Grad.
+func NewLeaf(t *tensor.Tensor, requiresGrad bool) *Value {
+	return &Value{Data: t, requiresGrad: requiresGrad}
+}
+
+// Constant wraps t as a non-differentiable leaf.
+func Constant(t *tensor.Tensor) *Value { return NewLeaf(t, false) }
+
+// RequiresGrad reports whether gradients flow to this value.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Value) ZeroGrad() { v.Grad = nil }
+
+func newNode(data *tensor.Tensor, parents ...*Value) *Value {
+	n := &Value{Data: data, parents: parents}
+	for _, p := range parents {
+		if p.requiresGrad {
+			n.requiresGrad = true
+			break
+		}
+	}
+	return n
+}
+
+// accum adds g into v.Grad, allocating on first use. Gradient accumulation
+// (rather than assignment) is what makes shared parameters work.
+func (v *Value) accum(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g.Clone()
+		return
+	}
+	v.Grad.AddInPlace(g)
+}
+
+// Backward seeds v's gradient with ones (or seed if non-nil) and propagates
+// through the graph in reverse topological order.
+func (v *Value) Backward(seed *tensor.Tensor) {
+	if seed == nil {
+		seed = tensor.Full(1, v.Data.Shape()...)
+	}
+	if !v.Data.SameShape(seed) {
+		panic(fmt.Sprintf("autograd: seed shape %v vs value %v", seed.Shape(), v.Data.Shape()))
+	}
+	order := topoSort(v)
+	v.Grad = seed.Clone()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := map[*Value]bool{}
+	var visit func(*Value)
+	visit = func(n *Value) {
+		if visited[n] || !n.requiresGrad {
+			return
+		}
+		visited[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	return order
+}
+
+// Add returns a + b.
+func Add(a, b *Value) *Value {
+	n := newNode(a.Data.Add(b.Data), a, b)
+	n.backward = func() {
+		a.accum(n.Grad)
+		b.accum(n.Grad)
+	}
+	return n
+}
+
+// Sub returns a - b.
+func Sub(a, b *Value) *Value {
+	n := newNode(a.Data.Sub(b.Data), a, b)
+	n.backward = func() {
+		a.accum(n.Grad)
+		b.accum(n.Grad.Scale(-1))
+	}
+	return n
+}
+
+// Mul returns the elementwise product a * b.
+func Mul(a, b *Value) *Value {
+	n := newNode(a.Data.Mul(b.Data), a, b)
+	n.backward = func() {
+		a.accum(n.Grad.Mul(b.Data))
+		b.accum(n.Grad.Mul(a.Data))
+	}
+	return n
+}
+
+// Scale returns a * s for scalar s.
+func Scale(a *Value, s float64) *Value {
+	n := newNode(a.Data.Scale(s), a)
+	n.backward = func() { a.accum(n.Grad.Scale(s)) }
+	return n
+}
+
+// MatMul returns the matrix product of (M,K) a and (K,N) b.
+func MatMul(a, b *Value) *Value {
+	n := newNode(a.Data.MatMul(b.Data), a, b)
+	n.backward = func() {
+		a.accum(n.Grad.MatMul(b.Data.Transpose2D()))
+		b.accum(a.Data.Transpose2D().MatMul(n.Grad))
+	}
+	return n
+}
+
+// Transpose2D returns the transpose of a rank-2 value.
+func Transpose2D(a *Value) *Value {
+	n := newNode(a.Data.Transpose2D(), a)
+	n.backward = func() { a.accum(n.Grad.Transpose2D()) }
+	return n
+}
+
+// AddRow broadcasts the rank-1 bias row over every row of the rank-2 a.
+func AddRow(a, row *Value) *Value {
+	n := newNode(a.Data.AddRow(row.Data), a, row)
+	n.backward = func() {
+		a.accum(n.Grad)
+		row.accum(n.Grad.SumAxis0())
+	}
+	return n
+}
+
+// Reshape returns a view of a with a new shape.
+func Reshape(a *Value, shape ...int) *Value {
+	orig := a.Data.Shape()
+	n := newNode(a.Data.Reshape(shape...), a)
+	n.backward = func() { a.accum(n.Grad.Reshape(orig...)) }
+	return n
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Value) *Value {
+	n := newNode(a.Data.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	}), a)
+	n.backward = func() {
+		g := tensor.New(a.Data.Shape()...)
+		ad, gd, nd := a.Data.Data(), g.Data(), n.Grad.Data()
+		for i := range ad {
+			if ad[i] > 0 {
+				gd[i] = nd[i]
+			}
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Value) *Value {
+	out := a.Data.Apply(math.Tanh)
+	n := newNode(out, a)
+	n.backward = func() {
+		g := tensor.New(a.Data.Shape()...)
+		od, gd, nd := out.Data(), g.Data(), n.Grad.Data()
+		for i := range od {
+			gd[i] = nd[i] * (1 - od[i]*od[i])
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Value) *Value {
+	out := a.Data.Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	n := newNode(out, a)
+	n.backward = func() {
+		g := tensor.New(a.Data.Shape()...)
+		od, gd, nd := out.Data(), g.Data(), n.Grad.Data()
+		for i := range od {
+			gd[i] = nd[i] * od[i] * (1 - od[i])
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation), the
+// activation used by BERT-style transformers.
+func GELU(a *Value) *Value {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	f := func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	out := a.Data.Apply(f)
+	n := newNode(out, a)
+	n.backward = func() {
+		g := tensor.New(a.Data.Shape()...)
+		ad, gd, nd := a.Data.Data(), g.Data(), n.Grad.Data()
+		for i := range ad {
+			x := ad[i]
+			t := math.Tanh(c * (x + 0.044715*x*x*x))
+			dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+			gd[i] = nd[i] * (0.5*(1+t) + 0.5*x*dt)
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// Exp applies exp elementwise.
+func Exp(a *Value) *Value {
+	out := a.Data.Apply(math.Exp)
+	n := newNode(out, a)
+	n.backward = func() { a.accum(n.Grad.Mul(out)) }
+	return n
+}
+
+// Square returns x*x elementwise.
+func Square(a *Value) *Value {
+	n := newNode(a.Data.Mul(a.Data), a)
+	n.backward = func() { a.accum(n.Grad.Mul(a.Data.Scale(2))) }
+	return n
+}
+
+// Sum reduces all elements of a to a scalar (shape [1]).
+func Sum(a *Value) *Value {
+	n := newNode(tensor.FromSlice([]float64{a.Data.Sum()}, 1), a)
+	n.backward = func() {
+		a.accum(tensor.Full(n.Grad.At(0), a.Data.Shape()...))
+	}
+	return n
+}
+
+// Mean reduces all elements of a to their mean (shape [1]).
+func Mean(a *Value) *Value {
+	size := float64(a.Data.Size())
+	n := newNode(tensor.FromSlice([]float64{a.Data.Sum() / size}, 1), a)
+	n.backward = func() {
+		a.accum(tensor.Full(n.Grad.At(0)/size, a.Data.Shape()...))
+	}
+	return n
+}
+
+// Conv2D convolves NCHW input a with FCHW kernel and optional bias.
+func Conv2D(a, kernel, bias *Value, opts tensor.Conv2DOpts) *Value {
+	var bt *tensor.Tensor
+	if bias != nil {
+		bt = bias.Data
+	}
+	out := tensor.Conv2D(a.Data, kernel.Data, bt, opts)
+	parents := []*Value{a, kernel}
+	if bias != nil {
+		parents = append(parents, bias)
+	}
+	n := newNode(out, parents...)
+	n.backward = func() {
+		nIn, c, h, w := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
+		f, kh, kw := kernel.Data.Dim(0), kernel.Data.Dim(2), kernel.Data.Dim(3)
+		oh, ow := out.Dim(2), out.Dim(3)
+
+		// dOut reshaped to (N*OH*OW, F): spatial-major like Im2Col rows.
+		dflat := tensor.New(nIn*oh*ow, f)
+		gd := n.Grad.Data()
+		for img := 0; img < nIn; img++ {
+			for ch := 0; ch < f; ch++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						dflat.Set(gd[((img*f+ch)*oh+oy)*ow+ox], (img*oh+oy)*ow+ox, ch)
+					}
+				}
+			}
+		}
+		cols := tensor.Im2Col(a.Data, kh, kw, opts) // (N*OH*OW, C*KH*KW)
+		// dKernel = dflat^T @ cols, shape (F, C*KH*KW).
+		dk := dflat.Transpose2D().MatMul(cols)
+		kernel.accum(dk.Reshape(f, c, kh, kw))
+		if bias != nil {
+			bias.accum(dflat.SumAxis0())
+		}
+		// dInput = Col2Im(dflat @ kernelMat), kernelMat (F, C*KH*KW).
+		kmat := kernel.Data.Reshape(f, c*kh*kw)
+		dcols := dflat.MatMul(kmat)
+		a.accum(tensor.Col2Im(dcols, nIn, c, h, w, kh, kw, opts))
+	}
+	return n
+}
+
+// MaxPool2D applies k×k max pooling with the given stride.
+func MaxPool2D(a *Value, k, stride int) *Value {
+	out, arg := tensor.MaxPool2D(a.Data, k, stride)
+	n := newNode(out, a)
+	n.backward = func() {
+		g := tensor.New(a.Data.Shape()...)
+		gd, nd := g.Data(), n.Grad.Data()
+		for i, src := range arg {
+			gd[src] += nd[i]
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// AvgPoolGlobal averages each channel's spatial extent: (N,C,H,W) -> (N,C).
+func AvgPoolGlobal(a *Value) *Value {
+	out := tensor.AvgPool2DGlobal(a.Data)
+	n := newNode(out, a)
+	n.backward = func() {
+		nIn, c, h, w := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
+		inv := 1 / float64(h*w)
+		g := tensor.New(a.Data.Shape()...)
+		gd, nd := g.Data(), n.Grad.Data()
+		for img := 0; img < nIn; img++ {
+			for ch := 0; ch < c; ch++ {
+				v := nd[img*c+ch] * inv
+				base := (img*c + ch) * h * w
+				for i := 0; i < h*w; i++ {
+					gd[base+i] = v
+				}
+			}
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between row-wise
+// logits (N, C) and integer class labels, fused with softmax for stability.
+// The returned Value is a scalar (shape [1]).
+func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
+	nRows := logits.Data.Dim(0)
+	if len(labels) != nRows {
+		panic(fmt.Sprintf("autograd: %d labels for %d rows", len(labels), nRows))
+	}
+	probs := logits.Data.SoftmaxRows()
+	var loss float64
+	for i, lab := range labels {
+		p := probs.At(i, lab)
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(nRows)
+	n := newNode(tensor.FromSlice([]float64{loss}, 1), logits)
+	n.backward = func() {
+		scale := n.Grad.At(0) / float64(nRows)
+		g := probs.Clone()
+		for i, lab := range labels {
+			g.Set(g.At(i, lab)-1, i, lab)
+		}
+		logits.accum(g.ScaleInPlace(scale))
+	}
+	return n
+}
+
+// MSE computes the mean squared error between pred and target (a constant).
+func MSE(pred *Value, target *tensor.Tensor) *Value {
+	diff := pred.Data.Sub(target)
+	size := float64(diff.Size())
+	n := newNode(tensor.FromSlice([]float64{diff.Mul(diff).Sum() / size}, 1), pred)
+	n.backward = func() {
+		pred.accum(diff.Scale(2 * n.Grad.At(0) / size))
+	}
+	return n
+}
+
+// Softmax applies row-wise softmax with gradient support.
+func Softmax(a *Value) *Value {
+	out := a.Data.SoftmaxRows()
+	n := newNode(out, a)
+	n.backward = func() {
+		m, c := out.Dim(0), out.Dim(1)
+		g := tensor.New(m, c)
+		od, gd, nd := out.Data(), g.Data(), n.Grad.Data()
+		for i := 0; i < m; i++ {
+			row := od[i*c : (i+1)*c]
+			grow := nd[i*c : (i+1)*c]
+			var dot float64
+			for j := range row {
+				dot += row[j] * grow[j]
+			}
+			for j := range row {
+				gd[i*c+j] = row[j] * (grow[j] - dot)
+			}
+		}
+		a.accum(g)
+	}
+	return n
+}
+
+// Concat2DRows stacks rank-2 values vertically with gradient routing.
+func Concat2DRows(vals ...*Value) *Value {
+	ts := make([]*tensor.Tensor, len(vals))
+	parents := make([]*Value, len(vals))
+	for i, v := range vals {
+		ts[i] = v.Data
+		parents[i] = v
+	}
+	out := tensor.Concat2DRows(ts...)
+	n := newNode(out, parents...)
+	n.backward = func() {
+		off := 0
+		for _, v := range vals {
+			rows := v.Data.Dim(0)
+			v.accum(n.Grad.Slice2DRows(off, off+rows))
+			off += rows
+		}
+	}
+	return n
+}

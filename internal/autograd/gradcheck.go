@@ -1,0 +1,51 @@
+package autograd
+
+import (
+	"math"
+
+	"summitscale/internal/tensor"
+)
+
+// GradCheck compares the analytic gradient of f with central finite
+// differences at each element of the given leaves. f must rebuild the graph
+// from the leaves' current Data and return a scalar Value. It returns the
+// largest relative error observed.
+//
+// It is used by the test suite but exported because example and workflow
+// code also uses it to validate learned-potential implementations.
+func GradCheck(f func() *Value, leaves []*Value, eps float64) float64 {
+	// Analytic pass.
+	for _, l := range leaves {
+		l.ZeroGrad()
+	}
+	out := f()
+	out.Backward(nil)
+	analytic := make([]*tensor.Tensor, len(leaves))
+	for i, l := range leaves {
+		if l.Grad == nil {
+			analytic[i] = tensor.New(l.Data.Shape()...)
+		} else {
+			analytic[i] = l.Grad.Clone()
+		}
+	}
+
+	worst := 0.0
+	for li, l := range leaves {
+		data := l.Data.Data()
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			fp := f().Data.At(0)
+			data[i] = orig - eps
+			fm := f().Data.At(0)
+			data[i] = orig
+			numeric := (fp - fm) / (2 * eps)
+			a := analytic[li].Data()[i]
+			denom := math.Max(1, math.Max(math.Abs(a), math.Abs(numeric)))
+			if rel := math.Abs(a-numeric) / denom; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,191 @@
+package autograd
+
+import (
+	"math"
+
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+// LayerNorm normalizes each row of the rank-2 input to zero mean and unit
+// variance, then applies the learned per-feature gain and shift. It is the
+// normalization used in transformer blocks.
+func LayerNorm(a, gain, shift *Value, eps float64) *Value {
+	m, c := a.Data.Dim(0), a.Data.Dim(1)
+	out := tensor.New(m, c)
+	xhat := tensor.New(m, c)
+	invStd := make([]float64, m)
+	ad, od, xd := a.Data.Data(), out.Data(), xhat.Data()
+	gd, sd := gain.Data.Data(), shift.Data.Data()
+	for i := 0; i < m; i++ {
+		row := ad[i*c : (i+1)*c]
+		var mean float64
+		for _, x := range row {
+			mean += x
+		}
+		mean /= float64(c)
+		var va float64
+		for _, x := range row {
+			d := x - mean
+			va += d * d
+		}
+		va /= float64(c)
+		is := 1 / math.Sqrt(va+eps)
+		invStd[i] = is
+		for j, x := range row {
+			xh := (x - mean) * is
+			xd[i*c+j] = xh
+			od[i*c+j] = xh*gd[j] + sd[j]
+		}
+	}
+	n := newNode(out, a, gain, shift)
+	n.backward = func() {
+		nd := n.Grad.Data()
+		ga := tensor.New(m, c)
+		gg := tensor.New(c)
+		gs := tensor.New(c)
+		gad, ggd, gsd := ga.Data(), gg.Data(), gs.Data()
+		for i := 0; i < m; i++ {
+			// Per-row reductions for the normalization chain rule.
+			var sumDy, sumDyXhat float64
+			for j := 0; j < c; j++ {
+				dy := nd[i*c+j] * gd[j]
+				sumDy += dy
+				sumDyXhat += dy * xd[i*c+j]
+			}
+			for j := 0; j < c; j++ {
+				dy := nd[i*c+j] * gd[j]
+				gad[i*c+j] = invStd[i] * (dy - sumDy/float64(c) - xd[i*c+j]*sumDyXhat/float64(c))
+				ggd[j] += nd[i*c+j] * xd[i*c+j]
+				gsd[j] += nd[i*c+j]
+			}
+		}
+		a.accum(ga)
+		gain.accum(gg)
+		shift.accum(gs)
+	}
+	return n
+}
+
+// BatchNorm2D normalizes each channel of an NCHW tensor over the batch and
+// spatial dimensions (training-mode statistics), with learned per-channel
+// gain and shift.
+func BatchNorm2D(a, gain, shift *Value, eps float64) *Value {
+	nIn, c, h, w := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
+	cnt := float64(nIn * h * w)
+	out := tensor.New(nIn, c, h, w)
+	xhat := tensor.New(nIn, c, h, w)
+	invStd := make([]float64, c)
+	ad, od, xd := a.Data.Data(), out.Data(), xhat.Data()
+	gd, sd := gain.Data.Data(), shift.Data.Data()
+
+	idx := func(img, ch, y, x int) int { return ((img*c+ch)*h+y)*w + x }
+	for ch := 0; ch < c; ch++ {
+		var mean float64
+		for img := 0; img < nIn; img++ {
+			for i := 0; i < h*w; i++ {
+				mean += ad[idx(img, ch, 0, 0)+i]
+			}
+		}
+		mean /= cnt
+		var va float64
+		for img := 0; img < nIn; img++ {
+			for i := 0; i < h*w; i++ {
+				d := ad[idx(img, ch, 0, 0)+i] - mean
+				va += d * d
+			}
+		}
+		va /= cnt
+		is := 1 / math.Sqrt(va+eps)
+		invStd[ch] = is
+		for img := 0; img < nIn; img++ {
+			base := idx(img, ch, 0, 0)
+			for i := 0; i < h*w; i++ {
+				xh := (ad[base+i] - mean) * is
+				xd[base+i] = xh
+				od[base+i] = xh*gd[ch] + sd[ch]
+			}
+		}
+	}
+	n := newNode(out, a, gain, shift)
+	n.backward = func() {
+		nd := n.Grad.Data()
+		ga := tensor.New(nIn, c, h, w)
+		gg := tensor.New(c)
+		gs := tensor.New(c)
+		gad, ggd, gsd := ga.Data(), gg.Data(), gs.Data()
+		for ch := 0; ch < c; ch++ {
+			var sumDy, sumDyXhat float64
+			for img := 0; img < nIn; img++ {
+				base := idx(img, ch, 0, 0)
+				for i := 0; i < h*w; i++ {
+					dy := nd[base+i] * gd[ch]
+					sumDy += dy
+					sumDyXhat += dy * xd[base+i]
+					ggd[ch] += nd[base+i] * xd[base+i]
+					gsd[ch] += nd[base+i]
+				}
+			}
+			for img := 0; img < nIn; img++ {
+				base := idx(img, ch, 0, 0)
+				for i := 0; i < h*w; i++ {
+					dy := nd[base+i] * gd[ch]
+					gad[base+i] = invStd[ch] * (dy - sumDy/cnt - xd[base+i]*sumDyXhat/cnt)
+				}
+			}
+		}
+		a.accum(ga)
+		gain.accum(gg)
+		shift.accum(gs)
+	}
+	return n
+}
+
+// Dropout zeroes each element with probability p during training and scales
+// the survivors by 1/(1-p) (inverted dropout). With train=false it is the
+// identity.
+func Dropout(a *Value, p float64, train bool, rng *stats.RNG) *Value {
+	if !train || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("autograd: dropout probability must be < 1")
+	}
+	mask := tensor.New(a.Data.Shape()...)
+	md := mask.Data()
+	keep := 1 / (1 - p)
+	for i := range md {
+		if !rng.Bool(p) {
+			md[i] = keep
+		}
+	}
+	n := newNode(a.Data.Mul(mask), a)
+	n.backward = func() { a.accum(n.Grad.Mul(mask)) }
+	return n
+}
+
+// EmbeddingLookup gathers rows of the embedding table for each id, returning
+// an (len(ids), dim) matrix. Gradients scatter-add back into the table.
+func EmbeddingLookup(table *Value, ids []int) *Value {
+	vocab, dim := table.Data.Dim(0), table.Data.Dim(1)
+	out := tensor.New(len(ids), dim)
+	td, od := table.Data.Data(), out.Data()
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			panic("autograd: embedding id out of range")
+		}
+		copy(od[i*dim:(i+1)*dim], td[id*dim:(id+1)*dim])
+	}
+	n := newNode(out, table)
+	n.backward = func() {
+		g := tensor.New(vocab, dim)
+		gd, nd := g.Data(), n.Grad.Data()
+		for i, id := range ids {
+			for j := 0; j < dim; j++ {
+				gd[id*dim+j] += nd[i*dim+j]
+			}
+		}
+		table.accum(g)
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+// Package checkpoint serializes model parameters to disk and restores
+// them — the synchronous checkpoint traffic whose cost appears in the
+// Blanchard study's I/O overhead, implemented as a real file format so
+// training runs in this repository can stop and resume.
+//
+// Format:
+//
+//	[8]  magic "SUMCKPT1"
+//	[4]  parameter count
+//	per parameter:
+//	  [2] name length, name bytes
+//	  [4] element count, elements as little-endian float64
+//	[4]  crc32 of everything before it
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"summitscale/internal/nn"
+)
+
+var magic = []byte("SUMCKPT1")
+
+// Save writes m's parameters to path atomically (via a temp file rename).
+func Save(m nn.Module, path string) error {
+	params := m.Params()
+	var buf []byte
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(params)))
+	for _, p := range params {
+		name := []byte(p.Name)
+		if len(name) > 1<<15 {
+			return fmt.Errorf("checkpoint: parameter name %q too long", p.Name)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		data := p.Value.Data.Data()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+		for _, x := range data {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameters into m, matching by name. Every parameter of m
+// must be present in the file with the right element count; extra entries
+// in the file are an error too, so saves and loads stay symmetric.
+func Load(m nn.Module, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: read: %w", err)
+	}
+	if len(buf) < len(magic)+8 {
+		return fmt.Errorf("checkpoint: file too small")
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("checkpoint: checksum mismatch")
+	}
+	if string(body[:len(magic)]) != string(magic) {
+		return fmt.Errorf("checkpoint: bad magic")
+	}
+	off := len(magic)
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+
+	stored := map[string][]float64{}
+	for i := 0; i < count; i++ {
+		if off+2 > len(body) {
+			return fmt.Errorf("checkpoint: truncated at parameter %d", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+nameLen+4 > len(body) {
+			return fmt.Errorf("checkpoint: truncated name at parameter %d", i)
+		}
+		name := string(body[off : off+nameLen])
+		off += nameLen
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+8*n > len(body) {
+			return fmt.Errorf("checkpoint: truncated data for %q", name)
+		}
+		data := make([]float64, n)
+		for j := range data {
+			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		if _, dup := stored[name]; dup {
+			return fmt.Errorf("checkpoint: duplicate parameter %q", name)
+		}
+		stored[name] = data
+	}
+
+	params := m.Params()
+	if len(params) != len(stored) {
+		return fmt.Errorf("checkpoint: file has %d parameters, model has %d",
+			len(stored), len(params))
+	}
+	for _, p := range params {
+		data, ok := stored[p.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: parameter %q missing from file", p.Name)
+		}
+		dst := p.Value.Data.Data()
+		if len(dst) != len(data) {
+			return fmt.Errorf("checkpoint: parameter %q has %d elements, model wants %d",
+				p.Name, len(data), len(dst))
+		}
+		copy(dst, data)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	src := nn.NewMLP(stats.NewRNG(1), []int{4, 8, 3}, autograd.Tanh)
+	if err := Save(src, path); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a differently initialized model of the same shape.
+	dst := nn.NewMLP(stats.NewRNG(99), []int{4, 8, 3}, autograd.Tanh)
+	if err := Load(dst, path); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if !sp[i].Value.Data.Equal(dp[i].Value.Data, 0) {
+			t.Fatalf("parameter %s differs after load", sp[i].Name)
+		}
+	}
+}
+
+func TestLoadPreservesBehaviour(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bert.ckpt")
+	cfg := nn.MiniBERTConfig{Vocab: 10, SeqLen: 4, Dim: 8, Heads: 2, FFDim: 16, Layers: 1}
+	src := nn.NewMiniBERT(stats.NewRNG(2), cfg)
+	ids := []int{1, 5, 3, 7}
+	want := src.Forward(ids).Data.Clone()
+	if err := Save(src, path); err != nil {
+		t.Fatal(err)
+	}
+	dst := nn.NewMiniBERT(stats.NewRNG(77), cfg)
+	if err := Load(dst, path); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Forward(ids).Data; !got.Equal(want, 1e-12) {
+		t.Fatal("restored model computes different outputs")
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := Save(nn.NewMLP(stats.NewRNG(1), []int{4, 8, 3}, nil), path); err != nil {
+		t.Fatal(err)
+	}
+	other := nn.NewMLP(stats.NewRNG(1), []int{4, 16, 3}, nil)
+	if err := Load(other, path); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	smaller := nn.NewMLP(stats.NewRNG(1), []int{4, 3}, nil)
+	if err := Load(smaller, path); err == nil {
+		t.Fatal("parameter-count mismatch accepted")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	m := nn.NewMLP(stats.NewRNG(1), []int{2, 2}, nil)
+	if err := Save(m, path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 0x55
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(m, path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	m := nn.NewMLP(stats.NewRNG(1), []int{2, 2}, nil)
+	if err := Load(m, filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	// After Save, no .tmp residue remains.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	m := nn.NewMLP(stats.NewRNG(1), []int{2, 2}, nil)
+	if err := Save(m, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+// TestResumeTrainingMatchesUninterrupted: train 6 steps straight vs train
+// 3, checkpoint, restore into a fresh model, train 3 more — identical
+// final parameters (the resume property checkpointing exists for).
+func TestResumeTrainingMatchesUninterrupted(t *testing.T) {
+	x := tensor.Randn(stats.NewRNG(3), 1, 8, 4)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	step := func(m *nn.Sequential) {
+		nn.ZeroGrads(m)
+		loss := autograd.SoftmaxCrossEntropy(m.Forward(autograd.Constant(x)), labels)
+		loss.Backward(nil)
+		for _, p := range m.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.1 * gd[i]
+			}
+		}
+	}
+	straight := nn.NewMLP(stats.NewRNG(4), []int{4, 8, 3}, autograd.Tanh)
+	for i := 0; i < 6; i++ {
+		step(straight)
+	}
+
+	path := filepath.Join(t.TempDir(), "resume.ckpt")
+	first := nn.NewMLP(stats.NewRNG(4), []int{4, 8, 3}, autograd.Tanh)
+	for i := 0; i < 3; i++ {
+		step(first)
+	}
+	if err := Save(first, path); err != nil {
+		t.Fatal(err)
+	}
+	resumed := nn.NewMLP(stats.NewRNG(55), []int{4, 8, 3}, autograd.Tanh)
+	if err := Load(resumed, path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		step(resumed)
+	}
+	sp, rp := straight.Params(), resumed.Params()
+	for i := range sp {
+		if !sp[i].Value.Data.Equal(rp[i].Value.Data, 1e-12) {
+			t.Fatalf("resumed training diverged at %s", sp[i].Name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"summitscale/internal/perf"
+)
+
+// RenderScalingSVG draws a study's weak-scaling efficiency curve
+// (efficiency vs log2 nodes) as a self-contained SVG, with the paper's
+// reported efficiency marked at the target node count when available.
+func RenderScalingSVG(s ScalingStudy) string {
+	pts := perf.ScalingCurve(s.Job, s.Curve)
+	const (
+		w, h                 = 560, 320
+		padL, padR           = 70, 30
+		padT, padB           = 50, 50
+		plotW, plotH         = w - padL - padR, h - padT - padB
+		yLo, yHi     float64 = 0.5, 1.02
+	)
+	xOf := func(nodes int) float64 {
+		lo := math.Log2(float64(s.Curve[0]))
+		hi := math.Log2(float64(s.Curve[len(s.Curve)-1]))
+		if hi == lo {
+			return float64(padL)
+		}
+		return float64(padL) + (math.Log2(float64(nodes))-lo)/(hi-lo)*float64(plotW)
+	}
+	yOf := func(eff float64) float64 {
+		if eff < yLo {
+			eff = yLo
+		}
+		if eff > yHi {
+			eff = yHi
+		}
+		return float64(padT) + (yHi-eff)/(yHi-yLo)*float64(plotH)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d'>\n", w, h)
+	fmt.Fprintf(&b, "<rect width='%d' height='%d' fill='white'/>\n", w, h)
+	fmt.Fprintf(&b, "<text x='20' y='25' font-family='sans-serif' font-size='15' font-weight='bold'>%s</text>\n",
+		xmlEsc(s.ID+": "+s.Name))
+	// Axes.
+	fmt.Fprintf(&b, "<line x1='%d' y1='%d' x2='%d' y2='%d' stroke='black'/>\n", padL, padT, padL, h-padB)
+	fmt.Fprintf(&b, "<line x1='%d' y1='%d' x2='%d' y2='%d' stroke='black'/>\n", padL, h-padB, w-padR, h-padB)
+	// Y gridlines at 60..100%.
+	for e := 0.6; e <= 1.0; e += 0.1 {
+		y := yOf(e)
+		fmt.Fprintf(&b, "<line x1='%d' y1='%.1f' x2='%d' y2='%.1f' stroke='#eee'/>\n", padL, y, w-padR, y)
+		fmt.Fprintf(&b, "<text x='%d' y='%.1f' text-anchor='end' font-family='sans-serif' font-size='11'>%.0f%%</text>\n",
+			padL-6, y+4, 100*e)
+	}
+	// Curve.
+	var poly []string
+	for _, p := range pts {
+		poly = append(poly, fmt.Sprintf("%.1f,%.1f", xOf(p.Nodes), yOf(p.Efficiency)))
+	}
+	fmt.Fprintf(&b, "<polyline points='%s' fill='none' stroke='#1565c0' stroke-width='2'/>\n",
+		strings.Join(poly, " "))
+	for _, p := range pts {
+		fmt.Fprintf(&b, "<circle cx='%.1f' cy='%.1f' r='3.5' fill='#1565c0'/>\n", xOf(p.Nodes), yOf(p.Efficiency))
+		fmt.Fprintf(&b, "<text x='%.1f' y='%d' text-anchor='middle' font-family='sans-serif' font-size='11'>%d</text>\n",
+			xOf(p.Nodes), h-padB+16, p.Nodes)
+	}
+	// Paper reference point.
+	if s.PaperEfficiency > 0 {
+		x, y := xOf(s.AtNodes), yOf(s.PaperEfficiency)
+		fmt.Fprintf(&b, "<circle cx='%.1f' cy='%.1f' r='5' fill='none' stroke='#c62828' stroke-width='2'/>\n", x, y)
+		fmt.Fprintf(&b, "<text x='%.1f' y='%.1f' font-family='sans-serif' font-size='11' fill='#c62828'>paper %.1f%%</text>\n",
+			x-80, y-10, 100*s.PaperEfficiency)
+	}
+	fmt.Fprintf(&b, "<text x='%d' y='%d' text-anchor='middle' font-family='sans-serif' font-size='12'>nodes (log scale)</text>\n",
+		padL+plotW/2, h-12)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEsc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "'", "&apos;", `"`, "&quot;")
+	return r.Replace(s)
+}

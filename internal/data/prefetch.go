@@ -1,0 +1,59 @@
+package data
+
+import (
+	"summitscale/internal/tensor"
+)
+
+// Batch is one prefetched training batch.
+type Batch struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// Prefetcher assembles batches on a background goroutine so sample
+// generation/decoding overlaps training compute — the input-pipeline
+// overlap that §VI-B's bandwidth arithmetic assumes ("iterative random
+// access" hidden under the step).
+type Prefetcher struct {
+	ch   chan Batch
+	stop chan struct{}
+}
+
+// NewPrefetcher starts prefetching the given batches of src with `depth`
+// batches of lookahead. Close must be called when done.
+func NewPrefetcher(src ImageSource, batches [][]int, depth int) *Prefetcher {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Prefetcher{
+		ch:   make(chan Batch, depth),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.ch)
+		for _, idx := range batches {
+			x, labels := BatchImages(src, idx)
+			select {
+			case p.ch <- Batch{X: x, Labels: labels}:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Next returns the next batch; ok is false after the last batch.
+func (p *Prefetcher) Next() (Batch, bool) {
+	b, ok := <-p.ch
+	return b, ok
+}
+
+// Close stops the background producer. Safe to call multiple times only
+// if the producer has finished; callers should Close exactly once.
+func (p *Prefetcher) Close() {
+	close(p.stop)
+	// Drain so the producer's pending send (if any) unblocks.
+	for range p.ch {
+	}
+}

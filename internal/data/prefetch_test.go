@@ -1,0 +1,61 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestPrefetcherDeliversAllBatchesInOrder(t *testing.T) {
+	src := NewSyntheticImages(1, 24, 3, 1, 4)
+	batches := Batches(EpochOrder(2, 0, src.Len()), 4)
+	p := NewPrefetcher(src, batches, 2)
+	got := 0
+	for {
+		b, ok := p.Next()
+		if !ok {
+			break
+		}
+		if b.X.Dim(0) != 4 || len(b.Labels) != 4 {
+			t.Fatalf("batch shape %v / %d labels", b.X.Shape(), len(b.Labels))
+		}
+		// Contents must match the direct path.
+		wantX, wantY := BatchImages(src, batches[got])
+		if !b.X.Equal(wantX, 0) {
+			t.Fatalf("batch %d content mismatch", got)
+		}
+		for i := range wantY {
+			if b.Labels[i] != wantY[i] {
+				t.Fatalf("batch %d labels differ", got)
+			}
+		}
+		got++
+	}
+	if got != len(batches) {
+		t.Fatalf("received %d of %d batches", got, len(batches))
+	}
+}
+
+func TestPrefetcherCloseEarly(t *testing.T) {
+	src := NewSyntheticImages(3, 64, 2, 1, 8)
+	batches := Batches(EpochOrder(4, 0, src.Len()), 4)
+	p := NewPrefetcher(src, batches, 1)
+	if _, ok := p.Next(); !ok {
+		t.Fatal("no first batch")
+	}
+	p.Close() // must not deadlock or leak
+}
+
+func TestPrefetcherDepthClamped(t *testing.T) {
+	src := NewSyntheticImages(5, 8, 2, 1, 4)
+	batches := Batches(EpochOrder(6, 0, src.Len()), 4)
+	p := NewPrefetcher(src, batches, 0) // clamped to 1
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d batches", n)
+	}
+}

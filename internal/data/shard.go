@@ -1,0 +1,56 @@
+package data
+
+import (
+	"fmt"
+
+	"summitscale/internal/stats"
+)
+
+// Shard returns the sample indices assigned to rank out of size ranks when
+// n samples are distributed contiguously and as evenly as possible. The
+// first n%size ranks receive one extra sample.
+func Shard(n, size, rank int) []int {
+	if size <= 0 || rank < 0 || rank >= size {
+		panic(fmt.Sprintf("data: Shard(n=%d, size=%d, rank=%d)", n, size, rank))
+	}
+	lo := rank * n / size
+	hi := (rank + 1) * n / size
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return idx
+}
+
+// EpochOrder returns a deterministic global permutation of [0, n) for the
+// given epoch: the "per-epoch data shuffling" whose cost the paper's §VI-B
+// storage discussion weighs against node-local staging.
+func EpochOrder(seed uint64, epoch, n int) []int {
+	rng := stats.NewRNG(seed + uint64(epoch)*0x9e3779b97f4a7c15)
+	return rng.Perm(n)
+}
+
+// ShardedEpoch combines EpochOrder and Shard: rank's sample indices for the
+// given epoch under global shuffling.
+func ShardedEpoch(seed uint64, epoch, n, size, rank int) []int {
+	order := EpochOrder(seed, epoch, n)
+	span := Shard(n, size, rank)
+	out := make([]int, len(span))
+	for i, s := range span {
+		out[i] = order[s]
+	}
+	return out
+}
+
+// Batches splits idx into contiguous batches of batchSize, dropping the
+// ragged tail (as synchronous data-parallel training does).
+func Batches(idx []int, batchSize int) [][]int {
+	if batchSize <= 0 {
+		panic("data: batch size must be positive")
+	}
+	var out [][]int
+	for lo := 0; lo+batchSize <= len(idx); lo += batchSize {
+		out = append(out, idx[lo:lo+batchSize])
+	}
+	return out
+}

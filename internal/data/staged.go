@@ -1,0 +1,127 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"summitscale/internal/storage"
+	"summitscale/internal/tensor"
+	"summitscale/internal/units"
+)
+
+// StagedImages is an ImageSource backed by an on-disk shard file — the
+// node-local NVMe staging path of §VI-B realized with real files. Labels
+// are stored as a one-element prefix of each record.
+type StagedImages struct {
+	reader   *storage.ShardReader
+	classes  int
+	channels int
+	size     int
+}
+
+// StageImages writes every sample of src into a shard file at path and
+// returns the bytes written. It is the "data staging" step charged by
+// storage.Stager.
+func StageImages(src ImageSource, path string) (units.Bytes, error) {
+	w, err := storage.CreateShard(path)
+	if err != nil {
+		return 0, err
+	}
+	var written units.Bytes
+	for i := 0; i < src.Len(); i++ {
+		s := src.Sample(i)
+		rec := make([]float64, 1+s.X.Size())
+		rec[0] = float64(s.Label)
+		copy(rec[1:], s.X.Data())
+		payload := storage.EncodeFloats(rec)
+		if err := w.Append(payload); err != nil {
+			w.Close()
+			return 0, err
+		}
+		written += units.Bytes(len(payload))
+	}
+	return written, w.Close()
+}
+
+// OpenStagedImages opens a shard written by StageImages. The caller must
+// supply the image geometry (shards are raw tensors, not self-describing
+// about shape) and Close the source when done.
+func OpenStagedImages(path string, classes, channels, size int) (*StagedImages, error) {
+	r, err := storage.OpenShard(path)
+	if err != nil {
+		return nil, err
+	}
+	return &StagedImages{reader: r, classes: classes, channels: channels, size: size}, nil
+}
+
+// Len implements ImageSource.
+func (s *StagedImages) Len() int { return s.reader.Count() }
+
+// Classes implements ImageSource.
+func (s *StagedImages) Classes() int { return s.classes }
+
+// BytesPerSample implements ImageSource.
+func (s *StagedImages) BytesPerSample() units.Bytes {
+	return units.Bytes(8 * (1 + s.channels*s.size*s.size))
+}
+
+// Sample implements ImageSource by reading the record from disk.
+func (s *StagedImages) Sample(i int) ImageSample {
+	payload, err := s.reader.Record(i)
+	if err != nil {
+		panic(fmt.Sprintf("data: staged read %d: %v", i, err))
+	}
+	rec, err := storage.DecodeFloats(payload)
+	if err != nil {
+		panic(fmt.Sprintf("data: staged decode %d: %v", i, err))
+	}
+	want := 1 + s.channels*s.size*s.size
+	if len(rec) != want {
+		panic(fmt.Sprintf("data: staged record %d has %d floats, want %d", i, len(rec), want))
+	}
+	return ImageSample{
+		Label: int(rec[0]),
+		X:     tensor.FromSlice(rec[1:], s.channels, s.size, s.size),
+	}
+}
+
+// Close releases the shard.
+func (s *StagedImages) Close() error { return s.reader.Close() }
+
+// StageShards splits src across nShards shard files in dir (named
+// shard-0000.sum …), sample i going to shard i%nShards — the partitioned
+// staging plan. It returns the shard paths.
+func StageShards(src ImageSource, dir string, nShards int) ([]string, error) {
+	if nShards <= 0 {
+		return nil, fmt.Errorf("data: non-positive shard count")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	writers := make([]*storage.ShardWriter, nShards)
+	paths := make([]string, nShards)
+	for k := range writers {
+		paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%04d.sum", k))
+		w, err := storage.CreateShard(paths[k])
+		if err != nil {
+			return nil, err
+		}
+		writers[k] = w
+	}
+	for i := 0; i < src.Len(); i++ {
+		s := src.Sample(i)
+		rec := make([]float64, 1+s.X.Size())
+		rec[0] = float64(s.Label)
+		copy(rec[1:], s.X.Data())
+		if err := writers[i%nShards].Append(storage.EncodeFloats(rec)); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,194 @@
+// Package ddl implements distributed deep-learning training over the
+// internal/mp message-passing substrate: synchronous data parallelism with
+// ring-allreduce gradient averaging, gradient accumulation (Blanchard et
+// al.), half-precision gradient compression (mixed-precision allreduce),
+// the one-step gradient lag of Kurth et al., and a two-stage pipeline for
+// model parallelism (Yang et al.).
+//
+// Ranks are goroutines; gradients really move through channels byte for
+// byte, so replica-consistency and large-batch-equivalence properties are
+// testable rather than assumed.
+package ddl
+
+import (
+	"fmt"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/mp"
+	"summitscale/internal/nn"
+	"summitscale/internal/optim"
+	"summitscale/internal/tensor"
+)
+
+// FlattenGrads copies all parameter gradients into one contiguous vector
+// (zeroes for nil gradients). The layout is the parameter order.
+func FlattenGrads(params []nn.Param) []float64 {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Data.Size()
+	}
+	out := make([]float64, n)
+	off := 0
+	for _, p := range params {
+		sz := p.Value.Data.Size()
+		if p.Value.Grad != nil {
+			copy(out[off:off+sz], p.Value.Grad.Data())
+		}
+		off += sz
+	}
+	return out
+}
+
+// UnflattenGrads writes flat back into the parameters' gradients,
+// allocating them if needed.
+func UnflattenGrads(params []nn.Param, flat []float64) {
+	off := 0
+	for _, p := range params {
+		sz := p.Value.Data.Size()
+		if p.Value.Grad == nil {
+			p.Value.Grad = tensor.New(p.Value.Data.Shape()...)
+		}
+		copy(p.Value.Grad.Data(), flat[off:off+sz])
+		off += sz
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("ddl: flat gradient length %d vs parameters %d", len(flat), off))
+	}
+}
+
+// FlattenParams copies all parameter values into one vector.
+func FlattenParams(params []nn.Param) []float64 {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Data.Size()
+	}
+	out := make([]float64, n)
+	off := 0
+	for _, p := range params {
+		sz := p.Value.Data.Size()
+		copy(out[off:off+sz], p.Value.Data.Data())
+		off += sz
+	}
+	return out
+}
+
+// Compression selects the gradient wire format for the allreduce.
+type Compression int
+
+// Compression modes.
+const (
+	// NoCompression sends float64 gradients as-is.
+	NoCompression Compression = iota
+	// FP16 rounds gradients to IEEE half precision before the allreduce,
+	// modelling Summit's mixed-precision gradient exchange (half the bytes
+	// of fp32; here it manifests as quantization, since the substrate
+	// always moves float64 slots).
+	FP16
+)
+
+// Config describes a data-parallel training setup.
+type Config struct {
+	// AccumSteps is the number of micro-batches accumulated locally before
+	// each allreduce (gradient accumulation).
+	AccumSteps int
+	// Compression selects the gradient wire format.
+	Compression Compression
+	// GradLag applies the previous step's allreduced gradient instead of
+	// the current one, overlapping communication with computation at the
+	// cost of one step of staleness (Kurth et al.).
+	GradLag bool
+	// Allreduce selects the collective; nil means ring.
+	Allreduce func(c *mp.Comm, grads []float64) []float64
+}
+
+// Rank is the per-goroutine training state.
+type Rank struct {
+	Comm   *mp.Comm
+	Model  nn.Module
+	Opt    optim.Optimizer
+	Config Config
+
+	lagged []float64 // pending gradient when GradLag is on
+	accum  []float64
+	step   int
+}
+
+// NewRank wires a model and optimizer to a communicator.
+func NewRank(c *mp.Comm, model nn.Module, opt optim.Optimizer, cfg Config) *Rank {
+	if cfg.AccumSteps <= 0 {
+		cfg.AccumSteps = 1
+	}
+	return &Rank{Comm: c, Model: model, Opt: opt, Config: cfg}
+}
+
+// Step runs one training step: lossFn must zero nothing itself — it builds
+// the loss graph for this rank's micro-batch (called AccumSteps times) and
+// returns the loss value. Step returns the mean loss across this rank's
+// micro-batches for this step. Gradients are averaged over all ranks and
+// micro-batches before the optimizer update.
+func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
+	params := r.Model.Params()
+	var lossSum float64
+	nn.ZeroGrads(r.Model)
+	for m := 0; m < r.Config.AccumSteps; m++ {
+		loss := lossFn(m)
+		loss.Backward(nil)
+		lossSum += loss.Data.At(0)
+	}
+	flat := FlattenGrads(params)
+	// Average over world size and micro-batches.
+	scale := 1 / float64(r.Comm.Size()*r.Config.AccumSteps)
+	for i := range flat {
+		flat[i] *= scale
+	}
+	if r.Config.Compression == FP16 {
+		for i := range flat {
+			flat[i] = float64(toFP16(float32(flat[i])))
+		}
+	}
+	allreduce := r.Config.Allreduce
+	if allreduce == nil {
+		allreduce = func(c *mp.Comm, g []float64) []float64 { return c.AllReduceRing(g) }
+	}
+	reduced := allreduce(r.Comm, flat)
+
+	apply := reduced
+	if r.Config.GradLag {
+		apply, r.lagged = r.lagged, reduced
+		if apply == nil {
+			// First step: nothing to apply yet.
+			r.step++
+			return lossSum / float64(r.Config.AccumSteps)
+		}
+	}
+	UnflattenGrads(params, apply)
+	r.Opt.Step(params)
+	r.step++
+	return lossSum / float64(r.Config.AccumSteps)
+}
+
+// ReplicasConsistent gathers every rank's flattened parameters on rank 0
+// and reports (on rank 0) whether all replicas agree within tol. Other
+// ranks return true.
+func ReplicasConsistent(c *mp.Comm, model nn.Module, tol float64) bool {
+	flat := FlattenParams(model.Params())
+	all := c.Gather(0, flat)
+	if c.Rank() != 0 {
+		return true
+	}
+	n := len(flat)
+	for r := 1; r < c.Size(); r++ {
+		for i := 0; i < n; i++ {
+			d := all[r*n+i] - all[i]
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// toFP16 rounds a float32 to the nearest IEEE 754 binary16 value and
+// returns it as float32. Overflow saturates to ±Inf, matching half
+// -precision hardware behaviour.
+func toFP16(f float32) float32 { return fp16ToFloat(floatToFP16(f)) }

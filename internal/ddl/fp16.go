@@ -1,0 +1,77 @@
+package ddl
+
+import "math"
+
+// floatToFP16 converts a float32 to IEEE 754 binary16 bits with
+// round-to-nearest-even. Values beyond the half range saturate to ±Inf;
+// subnormals are rounded correctly.
+func floatToFP16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal range
+		// 10-bit mantissa; round to nearest even on the dropped 13 bits.
+		m := mant >> 13
+		round := mant & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && m&1 == 1) {
+			m++
+		}
+		e := uint32(exp+15)<<10 + m // mantissa carry may bump the exponent
+		if e >= 0x7c00 {
+			return sign | 0x7c00
+		}
+		return sign | uint16(e)
+	case exp >= -24: // subnormal half
+		// Implicit leading 1 joins the mantissa; shift depends on exp.
+		full := mant | 0x800000
+		shift := uint32(-exp - 14 + 13)
+		m := full >> shift
+		rem := full & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default: // underflow to zero
+		return sign
+	}
+}
+
+// fp16ToFloat expands binary16 bits to float32.
+func fp16ToFloat(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return float32(math.NaN())
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}

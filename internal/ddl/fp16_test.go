@@ -1,0 +1,93 @@
+package ddl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFP16ExactValues(t *testing.T) {
+	cases := []float32{0, 1, -1, 0.5, 2, 1024, 65504, -65504, 0.25, 1.5}
+	for _, f := range cases {
+		if got := toFP16(f); got != f {
+			t.Errorf("toFP16(%v) = %v, want exact", f, got)
+		}
+	}
+}
+
+func TestFP16Overflow(t *testing.T) {
+	if got := toFP16(70000); !math.IsInf(float64(got), 1) {
+		t.Errorf("toFP16(70000) = %v, want +Inf", got)
+	}
+	if got := toFP16(-1e9); !math.IsInf(float64(got), -1) {
+		t.Errorf("toFP16(-1e9) = %v, want -Inf", got)
+	}
+}
+
+func TestFP16NaN(t *testing.T) {
+	if got := toFP16(float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Errorf("toFP16(NaN) = %v", got)
+	}
+}
+
+func TestFP16Subnormals(t *testing.T) {
+	// Smallest positive half subnormal is 2^-24.
+	tiny := float32(math.Pow(2, -24))
+	if got := toFP16(tiny); got != tiny {
+		t.Errorf("toFP16(2^-24) = %v", got)
+	}
+	// Below half the smallest subnormal rounds to zero.
+	if got := toFP16(float32(math.Pow(2, -26))); got != 0 {
+		t.Errorf("toFP16(2^-26) = %v, want 0", got)
+	}
+}
+
+func TestFP16SignPreserved(t *testing.T) {
+	if got := toFP16(-0.333); got >= 0 {
+		t.Errorf("sign lost: %v", got)
+	}
+}
+
+// TestFP16RelativeError checks the defining property of the format: for
+// normal-range values, relative quantization error is at most 2^-11.
+func TestFP16RelativeError(t *testing.T) {
+	if err := quick.Check(func(raw int32) bool {
+		f := float32(raw) / (1 << 16) // spread over the half-normal range
+		if f == 0 || math.Abs(float64(f)) < 6.2e-5 {
+			return true // skip subnormal range
+		}
+		g := toFP16(f)
+		rel := math.Abs(float64(g-f)) / math.Abs(float64(f))
+		return rel <= math.Pow(2, -11)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFP16Idempotent: re-quantizing a quantized value must not change it.
+func TestFP16Idempotent(t *testing.T) {
+	if err := quick.Check(func(raw int32) bool {
+		f := float32(raw) / 997
+		g := toFP16(f)
+		if math.IsInf(float64(g), 0) {
+			return true
+		}
+		return toFP16(g) == g
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFP16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1 and 1+2^-10; ties go to even (1.0).
+	f := float32(1 + math.Pow(2, -11))
+	if got := toFP16(f); got != 1 {
+		t.Errorf("tie rounding: toFP16(1+2^-11) = %v, want 1", got)
+	}
+	// 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9; even neighbour is 1+2^-9.
+	f = float32(1 + 3*math.Pow(2, -11))
+	want := float32(1 + math.Pow(2, -9))
+	if got := toFP16(f); got != want {
+		t.Errorf("tie rounding: got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,74 @@
+package ddl
+
+import (
+	"summitscale/internal/autograd"
+	"summitscale/internal/mp"
+	"summitscale/internal/nn"
+	"summitscale/internal/optim"
+	"summitscale/internal/tensor"
+)
+
+// Pipeline tags (below the collective tag space).
+const (
+	tagActivation = 1000 + iota
+	tagActGrad
+	tagLossReport
+)
+
+// PipelineFront runs the first model-parallel stage on the calling rank:
+// for each micro-batch from nextInput it forwards the front model, ships
+// the activation to backRank, receives the activation gradient, completes
+// the backward pass, and steps the optimizer. It returns after steps steps.
+//
+// This is the generic model-parallel split the paper's §VI-B calls
+// "essential for good scaling" once models outgrow data-parallel allreduce
+// (Yang et al.'s PI-GAN used exactly such a hybrid scheme).
+func PipelineFront(c *mp.Comm, backRank int, front nn.Layer, opt optim.Optimizer,
+	steps, microBatches int, nextInput func(step, micro int) *tensor.Tensor) {
+	params := front.Params()
+	for s := 0; s < steps; s++ {
+		nn.ZeroGrads(front)
+		acts := make([]*autograd.Value, microBatches)
+		for m := 0; m < microBatches; m++ {
+			x := autograd.Constant(nextInput(s, m))
+			act := front.Forward(x)
+			acts[m] = act
+			c.Send(backRank, tagActivation+m, act.Data.Data())
+		}
+		for m := 0; m < microBatches; m++ {
+			gradFlat := c.Recv(backRank, tagActGrad+m)
+			seed := tensor.FromSlice(gradFlat, acts[m].Data.Shape()...)
+			acts[m].Backward(seed)
+		}
+		opt.Step(params)
+	}
+}
+
+// PipelineBack runs the final stage: it receives activations from
+// frontRank, computes the loss via lossFn (which must treat its argument
+// as the stage input), backpropagates, returns the activation gradient,
+// and steps its own optimizer. It returns the mean loss per step.
+func PipelineBack(c *mp.Comm, frontRank int, back nn.Module, opt optim.Optimizer,
+	steps, microBatches int, actShape []int,
+	lossFn func(step, micro int, act *autograd.Value) *autograd.Value) []float64 {
+	params := back.Params()
+	losses := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		nn.ZeroGrads(back)
+		var lossSum float64
+		for m := 0; m < microBatches; m++ {
+			flat := c.Recv(frontRank, tagActivation+m)
+			act := autograd.NewLeaf(tensor.FromSlice(flat, actShape...), true)
+			loss := lossFn(s, m, act)
+			loss.Backward(nil)
+			lossSum += loss.Data.At(0)
+			if act.Grad == nil {
+				act.Grad = tensor.New(actShape...)
+			}
+			c.Send(frontRank, tagActGrad+m, act.Grad.Data())
+		}
+		opt.Step(params)
+		losses[s] = lossSum / float64(microBatches)
+	}
+	return losses
+}

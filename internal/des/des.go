@@ -1,0 +1,146 @@
+// Package des is a small discrete-event simulation kernel: a time-ordered
+// event queue with deterministic FIFO tie-breaking, used by the workflow
+// engine to simulate multi-facility campaigns and by ablation experiments
+// that need explicit timelines.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type Event struct {
+	Time   float64
+	Action func(sim *Sim)
+
+	seq int // insertion order for deterministic ties
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation.
+type Sim struct {
+	now     float64
+	queue   eventQueue
+	nextSeq int
+	// Processed counts executed events.
+	Processed int
+}
+
+// New creates an empty simulation at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules action at absolute time t (>= Now).
+func (s *Sim) At(t float64, action func(*Sim)) {
+	if t < s.now {
+		panic("des: scheduling in the past")
+	}
+	e := &Event{Time: t, Action: action, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+}
+
+// After schedules action delay seconds from now.
+func (s *Sim) After(delay float64, action func(*Sim)) {
+	s.At(s.now+delay, action)
+}
+
+// Run executes events until the queue is empty or the event count limit is
+// reached, and returns the final time.
+func (s *Sim) Run(maxEvents int) float64 {
+	for len(s.queue) > 0 {
+		if maxEvents >= 0 && s.Processed >= maxEvents {
+			break
+		}
+		e := heap.Pop(&s.queue).(*Event)
+		s.now = e.Time
+		s.Processed++
+		e.Action(s)
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Resource is a capacity-limited resource with FIFO queuing: Acquire
+// schedules work when a slot frees. It models constrained facilities
+// (e.g., a shared GPU partition) inside a Sim.
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	waiters  []func(*Sim)
+	// Busy integrates slot-seconds for utilization accounting.
+	Busy      float64
+	lastCheck float64
+}
+
+// NewResource creates a resource with the given slot count.
+func NewResource(s *Sim, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("des: resource capacity must be positive")
+	}
+	return &Resource{sim: s, capacity: capacity}
+}
+
+func (r *Resource) account() {
+	r.Busy += float64(r.inUse) * (r.sim.now - r.lastCheck)
+	r.lastCheck = r.sim.now
+}
+
+// Acquire runs work for duration seconds as soon as a slot is free, then
+// calls done (which may be nil).
+func (r *Resource) Acquire(duration float64, done func(*Sim)) {
+	start := func(sim *Sim) {
+		r.account()
+		r.inUse++
+		sim.After(duration, func(sim *Sim) {
+			r.account()
+			r.inUse--
+			if done != nil {
+				done(sim)
+			}
+			if len(r.waiters) > 0 && r.inUse < r.capacity {
+				next := r.waiters[0]
+				r.waiters = r.waiters[1:]
+				next(sim)
+			}
+		})
+	}
+	if r.inUse < r.capacity {
+		start(r.sim)
+	} else {
+		r.waiters = append(r.waiters, start)
+	}
+}
+
+// InUse returns the currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Utilization returns mean busy slots divided by capacity over [0, Now].
+func (r *Resource) Utilization() float64 {
+	r.account()
+	if r.sim.now == 0 {
+		return 0
+	}
+	return r.Busy / (float64(r.capacity) * r.sim.now)
+}

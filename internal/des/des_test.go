@@ -1,0 +1,121 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func(*Sim) { order = append(order, 3) })
+	s.At(1, func(*Sim) { order = append(order, 1) })
+	s.At(2, func(*Sim) { order = append(order, 2) })
+	end := s.Run(-1)
+	if end != 3 {
+		t.Fatalf("end time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTiesBreakByInsertion(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(1, func(*Sim) { order = append(order, "a") })
+	s.At(1, func(*Sim) { order = append(order, "b") })
+	s.At(1, func(*Sim) { order = append(order, "c") })
+	s.Run(-1)
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("tie order = %v", got)
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New()
+	var hit float64
+	s.After(5, func(sim *Sim) {
+		sim.After(2.5, func(sim *Sim) { hit = sim.Now() })
+	})
+	s.Run(-1)
+	if hit != 7.5 {
+		t.Fatalf("nested event at %v", hit)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func(sim *Sim) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for past event")
+			}
+		}()
+		sim.At(5, nil)
+	})
+	s.Run(-1)
+}
+
+func TestMaxEventsLimit(t *testing.T) {
+	s := New()
+	var reschedule func(*Sim)
+	reschedule = func(sim *Sim) { sim.After(1, reschedule) }
+	s.After(1, reschedule)
+	s.Run(100)
+	if s.Processed != 100 {
+		t.Fatalf("processed %d events", s.Processed)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("limit should leave pending events")
+	}
+}
+
+func TestResourceSerializesBeyondCapacity(t *testing.T) {
+	s := New()
+	r := NewResource(s, 2)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		r.Acquire(10, func(sim *Sim) { ends = append(ends, sim.Now()) })
+	}
+	s.Run(-1)
+	// Two run immediately (end 10), two queue (end 20).
+	if len(ends) != 4 || ends[0] != 10 || ends[1] != 10 || ends[2] != 20 || ends[3] != 20 {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.Acquire(4, nil)
+	s.After(8, func(*Sim) {}) // extend the horizon to 8
+	s.Run(-1)
+	if got := r.Utilization(); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestResourceInUse(t *testing.T) {
+	s := New()
+	r := NewResource(s, 3)
+	r.Acquire(5, nil)
+	r.Acquire(5, nil)
+	s.At(1, func(*Sim) {
+		if r.InUse() != 2 {
+			t.Errorf("in use = %d", r.InUse())
+		}
+	})
+	s.Run(-1)
+	if r.InUse() != 0 {
+		t.Fatalf("resource leaked: %d", r.InUse())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewResource(New(), 0)
+}

@@ -1,0 +1,99 @@
+// Package ga implements the genetic-algorithm search of Blanchard et al.
+// (§IV-A.8): candidate compounds represented as token strings are evolved
+// against a learned scoring function, with tournament selection, one-point
+// crossover, and per-token mutation.
+package ga
+
+import (
+	"sort"
+
+	"summitscale/internal/stats"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Population int
+	Genes      int // tokens per candidate
+	Vocab      int // token alphabet size
+	// MutationRate is the per-token mutation probability.
+	MutationRate float64
+	// TournamentK is the tournament size for parent selection.
+	TournamentK int
+	// Elite preserves the best candidates unchanged each generation.
+	Elite int
+}
+
+// DefaultConfig returns sensible defaults for the drug-candidate search.
+func DefaultConfig() Config {
+	return Config{Population: 64, Genes: 24, Vocab: 20, MutationRate: 0.05,
+		TournamentK: 3, Elite: 2}
+}
+
+// Candidate is one genome with its score.
+type Candidate struct {
+	Genes []int
+	Score float64
+}
+
+// Search runs the GA for `generations` against score (higher is better)
+// and returns the final population sorted best-first, plus the best score
+// trajectory per generation.
+func Search(rng *stats.RNG, cfg Config, generations int, score func(genes []int) float64) ([]Candidate, []float64) {
+	if cfg.Population < 2 || cfg.Genes < 2 || cfg.Vocab < 2 {
+		panic("ga: degenerate configuration")
+	}
+	pop := make([]Candidate, cfg.Population)
+	for i := range pop {
+		g := make([]int, cfg.Genes)
+		for j := range g {
+			g[j] = rng.Intn(cfg.Vocab)
+		}
+		pop[i] = Candidate{Genes: g, Score: score(g)}
+	}
+	best := make([]float64, 0, generations)
+	for gen := 0; gen < generations; gen++ {
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].Score > pop[j].Score })
+		best = append(best, pop[0].Score)
+		next := make([]Candidate, 0, cfg.Population)
+		for e := 0; e < cfg.Elite && e < len(pop); e++ {
+			next = append(next, pop[e])
+		}
+		for len(next) < cfg.Population {
+			a := tournament(rng, pop, cfg.TournamentK)
+			b := tournament(rng, pop, cfg.TournamentK)
+			child := crossover(rng, a.Genes, b.Genes)
+			mutate(rng, child, cfg.Vocab, cfg.MutationRate)
+			next = append(next, Candidate{Genes: child, Score: score(child)})
+		}
+		pop = next
+	}
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].Score > pop[j].Score })
+	return pop, best
+}
+
+func tournament(rng *stats.RNG, pop []Candidate, k int) Candidate {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.Score > best.Score {
+			best = c
+		}
+	}
+	return best
+}
+
+func crossover(rng *stats.RNG, a, b []int) []int {
+	cut := 1 + rng.Intn(len(a)-1)
+	child := make([]int, len(a))
+	copy(child, a[:cut])
+	copy(child[cut:], b[cut:])
+	return child
+}
+
+func mutate(rng *stats.RNG, g []int, vocab int, rate float64) {
+	for i := range g {
+		if rng.Bool(rate) {
+			g[i] = rng.Intn(vocab)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package ga
+
+import (
+	"testing"
+
+	"summitscale/internal/stats"
+)
+
+// onesScore counts a target token — a simple fitness with known optimum.
+func onesScore(genes []int) float64 {
+	n := 0.0
+	for _, g := range genes {
+		if g == 7 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSearchImprovesScore(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cfg := DefaultConfig()
+	pop, best := Search(rng, cfg, 40, onesScore)
+	if len(pop) != cfg.Population {
+		t.Fatalf("population size %d", len(pop))
+	}
+	if len(best) != 40 {
+		t.Fatalf("trajectory length %d", len(best))
+	}
+	if best[len(best)-1] <= best[0] {
+		t.Fatalf("no improvement: %v -> %v", best[0], best[len(best)-1])
+	}
+	// With 24 genes and vocab 20, random start scores ~1.2; evolution
+	// should push well beyond.
+	if pop[0].Score < 10 {
+		t.Fatalf("best score after search = %v", pop[0].Score)
+	}
+}
+
+func TestEliteNeverRegresses(t *testing.T) {
+	rng := stats.NewRNG(2)
+	cfg := DefaultConfig()
+	cfg.Elite = 2
+	_, best := Search(rng, cfg, 30, onesScore)
+	for i := 1; i < len(best); i++ {
+		if best[i] < best[i-1] {
+			t.Fatalf("best score regressed at generation %d: %v", i, best)
+		}
+	}
+}
+
+func TestPopulationSortedBestFirst(t *testing.T) {
+	rng := stats.NewRNG(3)
+	pop, _ := Search(rng, DefaultConfig(), 10, onesScore)
+	for i := 1; i < len(pop); i++ {
+		if pop[i].Score > pop[i-1].Score {
+			t.Fatal("population not sorted")
+		}
+	}
+}
+
+func TestGenesStayInVocab(t *testing.T) {
+	rng := stats.NewRNG(4)
+	cfg := DefaultConfig()
+	pop, _ := Search(rng, cfg, 15, onesScore)
+	for _, c := range pop {
+		if len(c.Genes) != cfg.Genes {
+			t.Fatalf("genome length %d", len(c.Genes))
+		}
+		for _, g := range c.Genes {
+			if g < 0 || g >= cfg.Vocab {
+				t.Fatalf("gene %d out of vocab", g)
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() float64 {
+		pop, _ := Search(stats.NewRNG(9), DefaultConfig(), 20, onesScore)
+		return pop[0].Score
+	}
+	if run() != run() {
+		t.Fatal("GA not deterministic for fixed seed")
+	}
+}
+
+func TestDegenerateConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Search(stats.NewRNG(1), Config{Population: 1, Genes: 2, Vocab: 2}, 1, onesScore)
+}

@@ -1,0 +1,272 @@
+// Package hpo implements evolutionary hyperparameter and topology search
+// for neural networks — the method of Patton et al.'s 2018 Gordon Bell
+// finalist (§IV-A.2, the MENNDL lineage of Young et al. [7]): a
+// population of candidate network configurations is trained briefly and
+// scored concurrently, with tournament selection, crossover, and mutation
+// over the configuration space.
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/optim"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+// Genome is one candidate configuration.
+type Genome struct {
+	HiddenLayers int     // 1..MaxLayers
+	Width        int     // units per hidden layer
+	LearningRate float64 // log-uniform
+	UseTanh      bool    // tanh vs relu
+}
+
+// Space bounds the search.
+type Space struct {
+	MaxLayers int
+	MinWidth  int
+	MaxWidth  int
+	MinLR     float64
+	MaxLR     float64
+}
+
+// DefaultSpace returns a compact space for MLP classifiers.
+func DefaultSpace() Space {
+	return Space{MaxLayers: 3, MinWidth: 4, MaxWidth: 64, MinLR: 1e-3, MaxLR: 1}
+}
+
+// random draws a genome uniformly (log-uniform for LR and width).
+func (s Space) random(rng *stats.RNG) Genome {
+	return Genome{
+		HiddenLayers: rng.Intn(s.MaxLayers) + 1,
+		Width:        logUniformInt(rng, s.MinWidth, s.MaxWidth),
+		LearningRate: s.MinLR * math.Pow(s.MaxLR/s.MinLR, rng.Float64()),
+		UseTanh:      rng.Bool(0.5),
+	}
+}
+
+// mutate perturbs one field.
+func (s Space) mutate(rng *stats.RNG, g Genome) Genome {
+	switch rng.Intn(4) {
+	case 0:
+		g.HiddenLayers = rng.Intn(s.MaxLayers) + 1
+	case 1:
+		g.Width = clampInt(g.Width*(1+rng.Intn(3))/2, s.MinWidth, s.MaxWidth)
+	case 2:
+		f := 0.5 + rng.Float64()*1.5
+		g.LearningRate = clampFloat(g.LearningRate*f, s.MinLR, s.MaxLR)
+	default:
+		g.UseTanh = !g.UseTanh
+	}
+	return g
+}
+
+// crossover mixes two genomes field-wise.
+func crossover(rng *stats.RNG, a, b Genome) Genome {
+	c := a
+	if rng.Bool(0.5) {
+		c.HiddenLayers = b.HiddenLayers
+	}
+	if rng.Bool(0.5) {
+		c.Width = b.Width
+	}
+	if rng.Bool(0.5) {
+		c.LearningRate = b.LearningRate
+	}
+	if rng.Bool(0.5) {
+		c.UseTanh = b.UseTanh
+	}
+	return c
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Build constructs the MLP a genome describes.
+func (g Genome) Build(rng *stats.RNG, inDim, classes int) *nn.Sequential {
+	act := autograd.ReLU
+	if g.UseTanh {
+		act = autograd.Tanh
+	}
+	widths := []int{inDim}
+	for i := 0; i < g.HiddenLayers; i++ {
+		widths = append(widths, g.Width)
+	}
+	widths = append(widths, classes)
+	return nn.NewMLP(rng, widths, act)
+}
+
+// String renders the genome.
+func (g Genome) String() string {
+	act := "relu"
+	if g.UseTanh {
+		act = "tanh"
+	}
+	return fmt.Sprintf("{layers=%d width=%d lr=%.3g act=%s}", g.HiddenLayers, g.Width, g.LearningRate, act)
+}
+
+// Task is the dataset a candidate is scored on.
+type Task struct {
+	TrainX *tensor.Tensor
+	TrainY []int
+	ValX   *tensor.Tensor
+	ValY   []int
+	// TrainSteps is the per-candidate training budget.
+	TrainSteps int
+}
+
+// Evaluate trains the genome briefly and returns validation accuracy.
+func Evaluate(seed uint64, g Genome, task Task) float64 {
+	rng := stats.NewRNG(seed)
+	m := g.Build(rng, task.TrainX.Dim(1), maxLabel(task.TrainY)+1)
+	opt := optim.NewMomentumSGD(g.LearningRate, 0.9)
+	x := autograd.Constant(task.TrainX)
+	for step := 0; step < task.TrainSteps; step++ {
+		nn.ZeroGrads(m)
+		loss := autograd.SoftmaxCrossEntropy(m.Forward(x), task.TrainY)
+		loss.Backward(nil)
+		opt.Step(m.Params())
+	}
+	pred := m.Forward(autograd.Constant(task.ValX)).Data.ArgMaxRows()
+	correct := 0
+	for i, p := range pred {
+		if p == task.ValY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(task.ValY))
+}
+
+func maxLabel(ys []int) int {
+	m := 0
+	for _, y := range ys {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Result is one scored candidate.
+type Result struct {
+	Genome Genome
+	Score  float64
+}
+
+// Config parameterizes the search.
+type Config struct {
+	Population  int
+	Generations int
+	Elite       int
+	TournamentK int
+	// Workers bounds concurrent evaluations (the node-parallel dimension
+	// of Patton et al.'s 4200-node run). 0 means population size.
+	Workers int
+}
+
+// DefaultConfig returns a small search.
+func DefaultConfig() Config {
+	return Config{Population: 12, Generations: 5, Elite: 2, TournamentK: 3}
+}
+
+// Search runs the evolutionary search; candidate evaluations within a
+// generation run concurrently. It returns the population of the last
+// generation sorted best-first and the best score per generation.
+func Search(rng *stats.RNG, space Space, cfg Config, task Task) ([]Result, []float64) {
+	if cfg.Population < 2 {
+		panic("hpo: population too small")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = cfg.Population
+	}
+	evalAll := func(genomes []Genome, gen int) []Result {
+		out := make([]Result, len(genomes))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, g := range genomes {
+			wg.Add(1)
+			go func(i int, g Genome) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				out[i] = Result{Genome: g, Score: Evaluate(uint64(1000*gen+i), g, task)}
+			}(i, g)
+		}
+		wg.Wait()
+		sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+		return out
+	}
+
+	genomes := make([]Genome, cfg.Population)
+	for i := range genomes {
+		genomes[i] = space.random(rng)
+	}
+	var best []float64
+	var scored []Result
+	for gen := 0; gen < cfg.Generations; gen++ {
+		scored = evalAll(genomes, gen)
+		best = append(best, scored[0].Score)
+		next := make([]Genome, 0, cfg.Population)
+		for e := 0; e < cfg.Elite && e < len(scored); e++ {
+			next = append(next, scored[e].Genome)
+		}
+		for len(next) < cfg.Population {
+			a := tournament(rng, scored, cfg.TournamentK)
+			b := tournament(rng, scored, cfg.TournamentK)
+			child := space.mutate(rng, crossover(rng, a.Genome, b.Genome))
+			next = append(next, child)
+		}
+		genomes = next
+	}
+	return scored, best
+}
+
+func tournament(rng *stats.RNG, pop []Result, k int) Result {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.Score > best.Score {
+			best = c
+		}
+	}
+	return best
+}
+
+func logUniformInt(rng *stats.RNG, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	bits := 0
+	for v := hi / lo; v > 0; v >>= 1 {
+		bits++
+	}
+	n := lo << rng.Intn(bits)
+	if n > hi {
+		n = hi
+	}
+	return n
+}

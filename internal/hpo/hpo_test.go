@@ -1,0 +1,120 @@
+package hpo
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+// spiralTask builds a small two-class problem that a well-configured MLP
+// solves but a badly configured one (wrong LR, too narrow) does not.
+func spiralTask(seed uint64) Task {
+	rng := stats.NewRNG(seed)
+	mk := func(n int) (*tensor.Tensor, []int) {
+		x := tensor.New(n, 2)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			cls := i % 2
+			r := 0.3 + rng.Float64()*0.7
+			th := rng.Float64()*3 + float64(cls)*math.Pi
+			x.Set(r*math.Cos(th+2*r)+rng.NormFloat64()*0.02, i, 0)
+			x.Set(r*math.Sin(th+2*r)+rng.NormFloat64()*0.02, i, 1)
+			y[i] = cls
+		}
+		return x, y
+	}
+	tx, ty := mk(64)
+	vx, vy := mk(32)
+	return Task{TrainX: tx, TrainY: ty, ValX: vx, ValY: vy, TrainSteps: 80}
+}
+
+func TestGenomeBuildShapes(t *testing.T) {
+	g := Genome{HiddenLayers: 2, Width: 8, LearningRate: 0.1, UseTanh: true}
+	m := g.Build(stats.NewRNG(1), 3, 4)
+	// 3 hidden transitions + output: layers = HiddenLayers+1 dense layers.
+	if len(m.Layers) != 3 {
+		t.Fatalf("built %d layers", len(m.Layers))
+	}
+	if g.String() == "" {
+		t.Fatal("empty genome string")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	task := spiralTask(1)
+	g := Genome{HiddenLayers: 1, Width: 8, LearningRate: 0.2, UseTanh: true}
+	if Evaluate(7, g, task) != Evaluate(7, g, task) {
+		t.Fatal("evaluation not deterministic")
+	}
+}
+
+func TestEvaluateScoreRange(t *testing.T) {
+	task := spiralTask(2)
+	g := Genome{HiddenLayers: 1, Width: 4, LearningRate: 0.05, UseTanh: false}
+	s := Evaluate(3, g, task)
+	if s < 0 || s > 1 {
+		t.Fatalf("score %v", s)
+	}
+}
+
+func TestSearchImprovesOverGenerations(t *testing.T) {
+	task := spiralTask(3)
+	rng := stats.NewRNG(4)
+	pop, best := Search(rng, DefaultSpace(), DefaultConfig(), task)
+	if len(best) != DefaultConfig().Generations {
+		t.Fatalf("best trajectory %v", best)
+	}
+	if best[len(best)-1] < best[0] {
+		t.Fatalf("search regressed: %v", best)
+	}
+	// The final best configuration should comfortably beat chance.
+	if pop[0].Score < 0.7 {
+		t.Fatalf("best score %v (%v)", pop[0].Score, pop[0].Genome)
+	}
+	// Population sorted best-first.
+	for i := 1; i < len(pop); i++ {
+		if pop[i].Score > pop[i-1].Score {
+			t.Fatal("population not sorted")
+		}
+	}
+}
+
+func TestSearchRespectsWorkerBound(t *testing.T) {
+	task := spiralTask(5)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Generations = 2
+	_, best := Search(stats.NewRNG(6), DefaultSpace(), cfg, task)
+	if len(best) != 2 {
+		t.Fatalf("trajectory %v", best)
+	}
+}
+
+func TestGenomesStayInSpace(t *testing.T) {
+	space := DefaultSpace()
+	rng := stats.NewRNG(7)
+	g := space.random(rng)
+	for i := 0; i < 200; i++ {
+		g = space.mutate(rng, crossover(rng, g, space.random(rng)))
+		if g.HiddenLayers < 1 || g.HiddenLayers > space.MaxLayers {
+			t.Fatalf("layers out of space: %v", g)
+		}
+		if g.Width < space.MinWidth || g.Width > space.MaxWidth {
+			t.Fatalf("width out of space: %v", g)
+		}
+		if g.LearningRate < space.MinLR || g.LearningRate > space.MaxLR {
+			t.Fatalf("lr out of space: %v", g)
+		}
+	}
+}
+
+func TestTinyPopulationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Search(stats.NewRNG(1), DefaultSpace(), Config{Population: 1}, spiralTask(8))
+}

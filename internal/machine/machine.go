@@ -1,0 +1,175 @@
+// Package machine describes the OLCF systems the paper studies — Summit
+// (original and high-memory nodes), and the Rhea/Andes companion clusters —
+// with the published hardware rates that the performance, storage, and
+// network models consume.
+//
+// All figures come from the paper's §II-A system description and §VI-B
+// hardware discussion: 25 GB/s node injection bandwidth, 2.5 TB/s GPFS
+// aggregate read bandwidth, ~27 TB/s aggregate node-local NVMe read
+// bandwidth, and V100 peak rates including 125 TF/s mixed-precision tensor
+// throughput per GPU (over 3 AI-ExaOps across the system).
+package machine
+
+import "summitscale/internal/units"
+
+// GPU describes an accelerator.
+type GPU struct {
+	Name string
+	// Peak arithmetic rates by precision.
+	PeakFP64   units.FlopsPerSecond
+	PeakFP32   units.FlopsPerSecond
+	PeakTensor units.FlopsPerSecond // mixed-precision tensor cores
+	HBM        units.Bytes
+	HBMBW      units.BytesPerSecond
+}
+
+// V100 is the NVIDIA Tesla V100 (16 GB) in Summit's original nodes.
+func V100() GPU {
+	return GPU{
+		Name:       "V100-16GB",
+		PeakFP64:   7.8 * units.TFlops,
+		PeakFP32:   15.7 * units.TFlops,
+		PeakTensor: 125 * units.TFlops,
+		HBM:        16 * units.GB,
+		HBMBW:      900 * units.GBps,
+	}
+}
+
+// V100HighMem is the 32 GB V100 in the 2020 high-memory nodes.
+func V100HighMem() GPU {
+	g := V100()
+	g.Name = "V100-32GB"
+	g.HBM = 32 * units.GB
+	return g
+}
+
+// Node describes one compute node.
+type Node struct {
+	Name     string
+	GPUs     int
+	GPU      GPU
+	CPUCores int // cores available to user processes
+	DDR      units.Bytes
+	NVMe     units.Bytes
+	// NVMeReadBW is the per-node burst-buffer read bandwidth; Summit's
+	// aggregate "over 27 TB/s" over 4608 nodes gives ~6 GB/s per node.
+	NVMeReadBW  units.BytesPerSecond
+	NVMeWriteBW units.BytesPerSecond
+	// InjectionBW is the node's network injection bandwidth (dual-rail EDR).
+	InjectionBW units.BytesPerSecond
+	// NVLinkBW is the intra-node GPU interconnect bandwidth per link.
+	NVLinkBW units.BytesPerSecond
+}
+
+// SummitNode is the original AC922 node.
+func SummitNode() Node {
+	return Node{
+		Name:        "AC922",
+		GPUs:        6,
+		GPU:         V100(),
+		CPUCores:    42, // 2x22 minus one reserved core per socket
+		DDR:         512 * units.GB,
+		NVMe:        1600 * units.GB,
+		NVMeReadBW:  6 * units.GBps,
+		NVMeWriteBW: 2.1 * units.GBps,
+		InjectionBW: 25 * units.GBps,
+		NVLinkBW:    50 * units.GBps,
+	}
+}
+
+// SummitHighMemNode is the 2020 high-memory AC922 variant.
+func SummitHighMemNode() Node {
+	n := SummitNode()
+	n.Name = "AC922-HighMem"
+	n.GPU = V100HighMem()
+	n.DDR = 2 * units.TB
+	n.NVMe = 6400 * units.GB
+	return n
+}
+
+// SharedFS describes a center-wide parallel file system.
+type SharedFS struct {
+	Name    string
+	ReadBW  units.BytesPerSecond // aggregate
+	WriteBW units.BytesPerSecond
+}
+
+// Alpine is Summit's GPFS scratch file system; the paper quotes 2.5 TB/s
+// aggregate read bandwidth.
+func Alpine() SharedFS {
+	return SharedFS{Name: "Alpine-GPFS", ReadBW: 2.5 * units.TBps, WriteBW: 2.5 * units.TBps}
+}
+
+// Machine is a full system description.
+type Machine struct {
+	Name         string
+	Nodes        int
+	Node         Node
+	HighMemNodes int
+	HighMemNode  Node
+	FS           SharedFS
+	// RingAllreduceBW is the effective per-node algorithm bandwidth of a
+	// ring allreduce: half the injection bandwidth (send and receive share
+	// the wire in opposite directions around the ring), 12.5 GB/s on
+	// Summit per the paper's §VI-B.
+	RingAllreduceBW units.BytesPerSecond
+	// NetworkLatency is the per-message small-message latency.
+	NetworkLatency units.Seconds
+}
+
+// Summit returns the full Summit description.
+func Summit() Machine {
+	return Machine{
+		Name:            "Summit",
+		Nodes:           4608,
+		Node:            SummitNode(),
+		HighMemNodes:    54,
+		HighMemNode:     SummitHighMemNode(),
+		FS:              Alpine(),
+		RingAllreduceBW: 12.5 * units.GBps,
+		NetworkLatency:  1.5e-6,
+	}
+}
+
+// TotalGPUs returns the GPU count of the base partition.
+func (m Machine) TotalGPUs() int { return m.Nodes * m.Node.GPUs }
+
+// PeakTensorFlops returns the aggregate mixed-precision peak of the base
+// partition — Summit's "over 3 AI-ExaOps".
+func (m Machine) PeakTensorFlops() units.FlopsPerSecond {
+	return m.Node.GPU.PeakTensor * units.FlopsPerSecond(m.TotalGPUs())
+}
+
+// AggregateNVMeReadBW returns the summed node-local burst-buffer read
+// bandwidth over n nodes.
+func (m Machine) AggregateNVMeReadBW(n int) units.BytesPerSecond {
+	return m.Node.NVMeReadBW * units.BytesPerSecond(n)
+}
+
+// Rhea is the original companion analysis cluster (retired late 2020).
+func Rhea() Machine {
+	return Machine{
+		Name:  "Rhea",
+		Nodes: 512,
+		Node: Node{
+			Name: "Rhea-CPU", GPUs: 0, CPUCores: 16,
+			DDR: 128 * units.GB, InjectionBW: 7 * units.GBps,
+		},
+		FS:             Alpine(),
+		NetworkLatency: 2e-6,
+	}
+}
+
+// Andes replaced Rhea in late 2020.
+func Andes() Machine {
+	return Machine{
+		Name:  "Andes",
+		Nodes: 704,
+		Node: Node{
+			Name: "Andes-CPU", GPUs: 0, CPUCores: 32,
+			DDR: 256 * units.GB, InjectionBW: 12.5 * units.GBps,
+		},
+		FS:             Alpine(),
+		NetworkLatency: 2e-6,
+	}
+}

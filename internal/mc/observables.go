@@ -1,0 +1,59 @@
+package mc
+
+import "summitscale/internal/stats"
+
+// Observables are ensemble measurements at one temperature.
+type Observables struct {
+	Temperature    float64
+	OrderParameter float64
+	EnergyPerSite  float64
+	// Susceptibility is the order-parameter variance scaled by N/T — it
+	// peaks at the order-disorder transition, which is how Liu et al.
+	// locate the transition temperature.
+	Susceptibility float64
+	// HeatCapacity is the energy variance scaled by 1/(N T^2).
+	HeatCapacity float64
+}
+
+// Measure equilibrates the lattice and samples observables.
+func Measure(rng *stats.RNG, l *Lattice, temperature float64, equil, samples int) Observables {
+	for s := 0; s < equil; s++ {
+		l.Sweep(rng, temperature)
+	}
+	n := float64(l.N())
+	var opSum, op2Sum, eSum, e2Sum float64
+	for s := 0; s < samples; s++ {
+		l.Sweep(rng, temperature)
+		op := l.OrderParameter()
+		e := l.TotalEnergy()
+		opSum += op
+		op2Sum += op * op
+		eSum += e
+		e2Sum += e * e
+	}
+	m := float64(samples)
+	opMean := opSum / m
+	eMean := eSum / m
+	return Observables{
+		Temperature:    temperature,
+		OrderParameter: opMean,
+		EnergyPerSite:  eMean / n,
+		Susceptibility: n / temperature * (op2Sum/m - opMean*opMean),
+		HeatCapacity:   (e2Sum/m - eMean*eMean) / (n * temperature * temperature),
+	}
+}
+
+// LocateTransition scans temperatures and returns the one with the
+// largest susceptibility — the estimated transition temperature.
+func LocateTransition(rng *stats.RNG, size int, model EnergyModel, temps []float64, equil, samples int) (tc float64, curve []Observables) {
+	best := 0
+	for i, T := range temps {
+		lat := NewLattice(size, model)
+		obs := Measure(rng.Split(), lat, T, equil, samples)
+		curve = append(curve, obs)
+		if obs.Susceptibility > curve[best].Susceptibility {
+			best = i
+		}
+	}
+	return curve[best].Temperature, curve
+}

@@ -1,0 +1,312 @@
+// Package md is a miniature molecular-dynamics engine: velocity-Verlet
+// integration of Lennard-Jones particles in a periodic box with cell-list
+// neighbor search, plus a pluggable pair potential so machine-learned
+// potentials (the Jia / Nguyen-Cong motif) can replace the analytic one.
+// It is the modsim substrate of the paper's §V workflow case studies.
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"summitscale/internal/stats"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm2 returns |v|^2.
+func (v Vec3) Norm2() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// PairPotential evaluates energy and the force magnitude factor for a
+// squared pair distance r2: the force on particle i from j is
+// dr.Scale(ForceOverR(r2)) where dr = ri - rj.
+type PairPotential interface {
+	// EnergyForce returns (energy, force/r) at squared distance r2.
+	EnergyForce(r2 float64) (energy, forceOverR float64)
+	// Cutoff returns the interaction cutoff radius.
+	Cutoff() float64
+}
+
+// LennardJones is the 12-6 potential with ε=σ=1, shifted to zero at the
+// cutoff.
+type LennardJones struct {
+	Rc float64
+	// shift makes the energy continuous at the cutoff.
+	shift float64
+}
+
+// NewLennardJones creates the potential with cutoff rc (typically 2.5σ).
+func NewLennardJones(rc float64) *LennardJones {
+	lj := &LennardJones{Rc: rc}
+	inv6 := 1 / math.Pow(rc*rc, 3)
+	lj.shift = 4 * (inv6*inv6 - inv6)
+	return lj
+}
+
+// EnergyForce implements PairPotential.
+func (lj *LennardJones) EnergyForce(r2 float64) (float64, float64) {
+	if r2 >= lj.Rc*lj.Rc {
+		return 0, 0
+	}
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	e := 4*(inv6*inv6-inv6) - lj.shift
+	f := 24 * (2*inv6*inv6 - inv6) * inv2 // (dU/dr)/r with sign for repulsion
+	return e, f
+}
+
+// Cutoff implements PairPotential.
+func (lj *LennardJones) Cutoff() float64 { return lj.Rc }
+
+// TabulatedPotential wraps sampled (energy, force) tables — the form a
+// machine-learned potential takes after training (internal/surrogate or
+// internal/nn fit the table entries).
+type TabulatedPotential struct {
+	Rc     float64
+	N      int
+	E, FoR []float64 // indexed by r2 / Rc^2 * N
+}
+
+// NewTabulatedFrom samples any callable into a table of n entries — used
+// to build "machine-learned" stand-ins for an expensive reference.
+func NewTabulatedFrom(f func(r2 float64) (float64, float64), rc float64, n int) *TabulatedPotential {
+	t := &TabulatedPotential{Rc: rc, N: n, E: make([]float64, n), FoR: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		r2 := (float64(i) + 0.5) / float64(n) * rc * rc
+		t.E[i], t.FoR[i] = f(r2)
+	}
+	return t
+}
+
+// EnergyForce implements PairPotential by nearest-bin lookup.
+func (t *TabulatedPotential) EnergyForce(r2 float64) (float64, float64) {
+	if r2 >= t.Rc*t.Rc {
+		return 0, 0
+	}
+	i := int(r2 / (t.Rc * t.Rc) * float64(t.N))
+	if i >= t.N {
+		i = t.N - 1
+	}
+	return t.E[i], t.FoR[i]
+}
+
+// Cutoff implements PairPotential.
+func (t *TabulatedPotential) Cutoff() float64 { return t.Rc }
+
+// System is a periodic particle system.
+type System struct {
+	Box  float64 // cubic box edge
+	Pos  []Vec3
+	Vel  []Vec3
+	Pot  PairPotential
+	Mass float64
+
+	force []Vec3
+}
+
+// NewLattice places n^3 particles on a cubic lattice in a box sized for
+// the given number density, with Maxwell-distributed velocities at the
+// given temperature.
+func NewLattice(rng *stats.RNG, n int, density, temperature float64, pot PairPotential) *System {
+	count := n * n * n
+	box := math.Cbrt(float64(count) / density)
+	s := &System{Box: box, Pot: pot, Mass: 1,
+		Pos: make([]Vec3, count), Vel: make([]Vec3, count), force: make([]Vec3, count)}
+	a := box / float64(n)
+	idx := 0
+	var pSum Vec3
+	sd := math.Sqrt(temperature)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				s.Pos[idx] = Vec3{(float64(i) + 0.5) * a, (float64(j) + 0.5) * a, (float64(k) + 0.5) * a}
+				v := Vec3{rng.NormFloat64() * sd, rng.NormFloat64() * sd, rng.NormFloat64() * sd}
+				s.Vel[idx] = v
+				pSum = pSum.Add(v)
+				idx++
+			}
+		}
+	}
+	// Remove center-of-mass drift.
+	corr := pSum.Scale(-1 / float64(count))
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(corr)
+	}
+	return s
+}
+
+// N returns the particle count.
+func (s *System) N() int { return len(s.Pos) }
+
+// minImage applies the minimum-image convention componentwise.
+func (s *System) minImage(d Vec3) Vec3 {
+	d.X -= s.Box * math.Round(d.X/s.Box)
+	d.Y -= s.Box * math.Round(d.Y/s.Box)
+	d.Z -= s.Box * math.Round(d.Z/s.Box)
+	return d
+}
+
+// wrap keeps a position inside the box.
+func (s *System) wrap(p Vec3) Vec3 {
+	p.X -= s.Box * math.Floor(p.X/s.Box)
+	p.Y -= s.Box * math.Floor(p.Y/s.Box)
+	p.Z -= s.Box * math.Floor(p.Z/s.Box)
+	return p
+}
+
+// cellList bins particles into cells no smaller than the cutoff.
+func (s *System) cellList() (cells [][]int, m int) {
+	m = int(s.Box / s.Pot.Cutoff())
+	if m < 3 {
+		m = 1 // fall back to O(N^2) via a single cell
+	}
+	cells = make([][]int, m*m*m)
+	for i, p := range s.Pos {
+		q := s.wrap(p)
+		cx := int(q.X / s.Box * float64(m))
+		cy := int(q.Y / s.Box * float64(m))
+		cz := int(q.Z / s.Box * float64(m))
+		if cx == m {
+			cx--
+		}
+		if cy == m {
+			cy--
+		}
+		if cz == m {
+			cz--
+		}
+		c := (cx*m+cy)*m + cz
+		cells[c] = append(cells[c], i)
+	}
+	return cells, m
+}
+
+// ComputeForces fills the force array and returns the potential energy.
+func (s *System) ComputeForces() float64 {
+	for i := range s.force {
+		s.force[i] = Vec3{}
+	}
+	var energy float64
+	cells, m := s.cellList()
+	if m == 1 {
+		for i := 0; i < s.N(); i++ {
+			for j := i + 1; j < s.N(); j++ {
+				energy += s.pairInteract(i, j)
+			}
+		}
+		return energy
+	}
+	// Loop cells and half of the 26 neighbours to visit each pair once.
+	offsets := [][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 0},
+		{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, -1, 0}, {1, 0, -1}, {0, 1, -1},
+		{1, 1, -1}, {1, -1, 1}, {-1, 1, 1}}
+	cellIdx := func(x, y, z int) int {
+		x = (x%m + m) % m
+		y = (y%m + m) % m
+		z = (z%m + m) % m
+		return (x*m+y)*m + z
+	}
+	for cx := 0; cx < m; cx++ {
+		for cy := 0; cy < m; cy++ {
+			for cz := 0; cz < m; cz++ {
+				c1 := cells[cellIdx(cx, cy, cz)]
+				for oi, off := range offsets {
+					c2 := cells[cellIdx(cx+off[0], cy+off[1], cz+off[2])]
+					if oi == 0 {
+						for a := 0; a < len(c1); a++ {
+							for b := a + 1; b < len(c1); b++ {
+								energy += s.pairInteract(c1[a], c1[b])
+							}
+						}
+						continue
+					}
+					for _, i := range c1 {
+						for _, j := range c2 {
+							energy += s.pairInteract(i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return energy
+}
+
+func (s *System) pairInteract(i, j int) float64 {
+	dr := s.minImage(s.Pos[i].Sub(s.Pos[j]))
+	r2 := dr.Norm2()
+	if r2 == 0 {
+		panic(fmt.Sprintf("md: particles %d and %d coincide", i, j))
+	}
+	e, foR := s.Pot.EnergyForce(r2)
+	if foR != 0 {
+		f := dr.Scale(foR)
+		s.force[i] = s.force[i].Add(f)
+		s.force[j] = s.force[j].Sub(f)
+	}
+	return e
+}
+
+// Step advances the system by one velocity-Verlet step of size dt and
+// returns the potential energy after the step.
+func (s *System) Step(dt float64) float64 {
+	if s.force == nil {
+		s.force = make([]Vec3, s.N())
+		s.ComputeForces()
+	}
+	half := dt / 2 / s.Mass
+	for i := range s.Pos {
+		s.Vel[i] = s.Vel[i].Add(s.force[i].Scale(half))
+		s.Pos[i] = s.wrap(s.Pos[i].Add(s.Vel[i].Scale(dt)))
+	}
+	e := s.ComputeForces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(s.force[i].Scale(half))
+	}
+	return e
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *System) KineticEnergy() float64 {
+	var ke float64
+	for _, v := range s.Vel {
+		ke += 0.5 * s.Mass * v.Norm2()
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous kinetic temperature.
+func (s *System) Temperature() float64 {
+	return 2 * s.KineticEnergy() / (3 * float64(s.N()))
+}
+
+// TotalEnergy returns kinetic + potential energy (recomputing forces).
+func (s *System) TotalEnergy() float64 {
+	return s.KineticEnergy() + s.ComputeForces()
+}
+
+// RadialSamples collects squared pair distances under the cutoff — the
+// training-set generator for learned potentials.
+func (s *System) RadialSamples(limit int) []float64 {
+	var out []float64
+	rc2 := s.Pot.Cutoff() * s.Pot.Cutoff()
+	for i := 0; i < s.N() && len(out) < limit; i++ {
+		for j := i + 1; j < s.N() && len(out) < limit; j++ {
+			r2 := s.minImage(s.Pos[i].Sub(s.Pos[j])).Norm2()
+			if r2 < rc2 {
+				out = append(out, r2)
+			}
+		}
+	}
+	return out
+}

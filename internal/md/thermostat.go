@@ -1,0 +1,66 @@
+package md
+
+import "math"
+
+// Thermostat couples a system to a heat bath. Production MD on Summit
+// (NAMD/OpenMM in the §V case studies) runs NVT ensembles; this provides
+// the minimal equivalents.
+type Thermostat interface {
+	// Apply adjusts velocities after an integration step.
+	Apply(s *System, dt float64)
+}
+
+// VelocityRescale is the crudest NVT scheme: rescale all velocities so the
+// kinetic temperature matches the target exactly.
+type VelocityRescale struct {
+	Target float64
+}
+
+// Apply implements Thermostat.
+func (v VelocityRescale) Apply(s *System, _ float64) {
+	cur := s.Temperature()
+	if cur <= 0 {
+		return
+	}
+	f := math.Sqrt(v.Target / cur)
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(f)
+	}
+}
+
+// Berendsen relaxes the temperature toward the target with time constant
+// Tau — gentler than hard rescaling, the standard equilibration scheme.
+type Berendsen struct {
+	Target float64
+	Tau    float64
+}
+
+// Apply implements Thermostat.
+func (b Berendsen) Apply(s *System, dt float64) {
+	cur := s.Temperature()
+	if cur <= 0 {
+		return
+	}
+	lambda := math.Sqrt(1 + dt/b.Tau*(b.Target/cur-1))
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(lambda)
+	}
+}
+
+// StepNVT advances the system one velocity-Verlet step and applies the
+// thermostat, returning the potential energy.
+func (s *System) StepNVT(dt float64, t Thermostat) float64 {
+	e := s.Step(dt)
+	t.Apply(s, dt)
+	return e
+}
+
+// Equilibrate runs steps NVT steps at the target temperature with a
+// Berendsen thermostat and returns the final kinetic temperature.
+func (s *System) Equilibrate(target, dt float64, steps int) float64 {
+	th := Berendsen{Target: target, Tau: 20 * dt}
+	for i := 0; i < steps; i++ {
+		s.StepNVT(dt, th)
+	}
+	return s.Temperature()
+}

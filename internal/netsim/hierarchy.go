@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"summitscale/internal/machine"
+	"summitscale/internal/units"
+)
+
+// HierarchicalFabric models Summit's two-level reduction path: an
+// intra-node NVLink stage over the node's GPUs followed by an inter-node
+// ring over the InfiniBand fabric, with one network endpoint per node.
+type HierarchicalFabric struct {
+	Inter Fabric
+	// NVLinkBW is the per-GPU intra-node link bandwidth.
+	NVLinkBW units.BytesPerSecond
+	// GPUsPerNode is the island size.
+	GPUsPerNode int
+	// Rails is the number of parallel inter-node rings (production stacks
+	// run one ring per local rank, bounded by the rail count).
+	Rails int
+}
+
+// SummitHierarchicalFabric returns Summit's parameters: 6 GPUs per node,
+// 50 GB/s NVLink, dual-rail EDR.
+func SummitHierarchicalFabric() HierarchicalFabric {
+	node := machine.SummitNode()
+	return HierarchicalFabric{
+		Inter:       SummitFabric(),
+		NVLinkBW:    node.NVLinkBW,
+		GPUsPerNode: node.GPUs,
+		Rails:       2,
+	}
+}
+
+// AllReduce returns the time for a hierarchical allreduce of n bytes per
+// GPU across `nodes` nodes: intra-node reduce-scatter + allgather over
+// NVLink, then the inter-node ring on 1/Rails of the data per rail in
+// parallel.
+func (h HierarchicalFabric) AllReduce(nodes int, n units.Bytes) units.Seconds {
+	var intra float64
+	if h.GPUsPerNode > 1 {
+		g := float64(h.GPUsPerNode)
+		intra = 2 * (g - 1) / g * float64(n) / float64(h.NVLinkBW)
+	}
+	var inter units.Seconds
+	if nodes > 1 {
+		perRail := units.Bytes(float64(n) / float64(max(1, h.Rails)))
+		inter = h.Inter.RingAllReduce(nodes, perRail)
+	}
+	return units.Seconds(intra) + inter
+}
+
+// FlatAllReduce returns the time if every GPU joined one flat ring, each
+// sharing the node's injection bandwidth — the configuration hierarchical
+// reduction exists to avoid.
+func (h HierarchicalFabric) FlatAllReduce(nodes int, n units.Bytes) units.Seconds {
+	ranks := nodes * h.GPUsPerNode
+	if ranks <= 1 {
+		return 0
+	}
+	shared := Fabric{
+		Alpha: h.Inter.Alpha,
+		Beta:  units.BytesPerSecond(float64(h.Inter.Beta) / float64(h.GPUsPerNode)),
+	}
+	return shared.RingAllReduce(ranks, n)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

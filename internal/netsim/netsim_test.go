@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/topology"
+	"summitscale/internal/units"
+)
+
+// TestPaperAllreduceTimes anchors the model to §VI-B: at Summit's 12.5 GB/s
+// ring algorithm bandwidth, ResNet-50's ~100 MB message takes ~8 ms and
+// BERT-large's ~1.4 GB takes ~110 ms.
+func TestPaperAllreduceTimes(t *testing.T) {
+	f := SummitFabric()
+	p := 4608
+	resnet := f.RingAllReduce(p, 100*units.MB)
+	if math.Abs(float64(resnet)-0.008)/0.008 > 0.25 {
+		t.Errorf("ResNet-50 allreduce = %v, paper ~8 ms", resnet)
+	}
+	bert := f.RingAllReduce(p, 1.4*units.GB)
+	if math.Abs(float64(bert)-0.110)/0.110 > 0.15 {
+		t.Errorf("BERT-large allreduce = %v, paper ~110 ms", bert)
+	}
+}
+
+func TestRingAlgorithmBandwidthApproachesHalfInjection(t *testing.T) {
+	f := SummitFabric()
+	bw := f.RingAlgorithmBW(4608, units.Bytes(1*units.GB))
+	// Paper: "the algorithm (ring-based allreduce) bandwidth being half of
+	// network bandwidth, i.e., 12.5 GB/s".
+	if math.Abs(float64(bw)-12.5e9)/12.5e9 > 0.1 {
+		t.Fatalf("ring algorithm bandwidth = %v, want ~12.5 GB/s", bw)
+	}
+}
+
+func TestRingTimeMonotonicInSizeAndP(t *testing.T) {
+	f := SummitFabric()
+	prev := units.Seconds(0)
+	for _, n := range []units.Bytes{1 * units.KB, 1 * units.MB, 100 * units.MB, 1 * units.GB} {
+		cur := f.RingAllReduce(256, n)
+		if cur <= prev {
+			t.Fatalf("ring time not increasing with size at %v", n)
+		}
+		prev = cur
+	}
+	// Latency term grows with p for fixed (small) size.
+	small := units.Bytes(1 * units.KB)
+	if f.RingAllReduce(4096, small) <= f.RingAllReduce(64, small) {
+		t.Fatal("ring latency term not growing with p")
+	}
+}
+
+func TestSingleRankCollectivesFree(t *testing.T) {
+	f := SummitFabric()
+	if f.RingAllReduce(1, units.GB) != 0 || f.TreeAllReduce(1, units.GB) != 0 ||
+		f.RecursiveDoublingAllReduce(1, units.GB) != 0 {
+		t.Fatal("p=1 collectives must cost nothing")
+	}
+}
+
+func TestBestAllReduceSelectsByRegime(t *testing.T) {
+	f := SummitFabric()
+	p := 1024
+	// Tiny message: latency-bound, doubling/tree wins.
+	algo, _ := f.BestAllReduce(p, 64)
+	if algo == Ring {
+		t.Errorf("64 B message picked ring")
+	}
+	// Huge message: bandwidth-bound, ring wins.
+	algo, _ = f.BestAllReduce(p, units.Bytes(1*units.GB))
+	if algo != Ring {
+		t.Errorf("1 GB message picked %s", algo)
+	}
+}
+
+func TestCrossoverConsistent(t *testing.T) {
+	f := SummitFabric()
+	for _, p := range []int{16, 256, 4096} {
+		x := f.RingTreeCrossover(p)
+		if x <= 0 {
+			t.Fatalf("p=%d crossover = %v", p, x)
+		}
+		below := units.Bytes(float64(x) * 0.5)
+		above := units.Bytes(float64(x) * 2)
+		if f.RingAllReduce(p, below) < f.RecursiveDoublingAllReduce(p, below) {
+			t.Errorf("p=%d: ring already wins below crossover", p)
+		}
+		if f.RingAllReduce(p, above) > f.RecursiveDoublingAllReduce(p, above) {
+			t.Errorf("p=%d: ring loses above crossover", p)
+		}
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	f := Fabric{Alpha: 1e-6, Beta: 10 * units.GBps}
+	got := f.PointToPoint(10 * units.MB)
+	want := 1e-6 + 1e-3
+	if math.Abs(float64(got)-want) > 1e-9 {
+		t.Fatalf("p2p = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateFlowsRingCongestionFree(t *testing.T) {
+	ft := topology.NewFatTree(8)
+	chunk := units.Bytes(10 * units.MB)
+	linkBW := units.BytesPerSecond(25 * units.GBps)
+	tm := RingStepTime(ft, ft.HostCount, chunk, linkBW, 0)
+	// Congestion-free: one chunk per link per step.
+	want := float64(chunk) / float64(linkBW)
+	if math.Abs(float64(tm)-want)/want > 1e-9 {
+		t.Fatalf("ring step time = %v, want %v", tm, want)
+	}
+}
+
+func TestSimulateFlowsIncastSerializes(t *testing.T) {
+	ft := topology.NewFatTree(4)
+	linkBW := units.BytesPerSecond(25 * units.GBps)
+	var flows []Flow
+	for src := 1; src < ft.HostCount; src++ {
+		flows = append(flows, Flow{Src: src, Dst: 0, Bytes: units.Bytes(units.MB)})
+	}
+	tm := SimulateFlows(ft, flows, linkBW, 0, true)
+	// The edge->host link carries all 15 MB.
+	want := 15e6 / 25e9
+	if math.Abs(float64(tm)-want)/want > 1e-9 {
+		t.Fatalf("incast time = %v, want %v", tm, want)
+	}
+}
+
+func TestSimulateFlowsSkipsSelfFlows(t *testing.T) {
+	ft := topology.NewFatTree(4)
+	tm := SimulateFlows(ft, []Flow{{Src: 3, Dst: 3, Bytes: units.GB}}, 25*units.GBps, 0, true)
+	if tm != 0 {
+		t.Fatalf("self flow cost %v", tm)
+	}
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+func randMat(rng *stats.RNG, sd float64, shape ...int) *tensor.Tensor {
+	return tensor.Randn(rng, sd, shape...)
+}
+
+// SmallCNN is a compact convolutional classifier (conv-bn-relu-pool blocks
+// followed by a dense head). It is the trainable miniature of the image
+// classifiers in the paper's I/O analysis (ResNet-50 class).
+type SmallCNN struct {
+	Convs []*Conv2D
+	Norms []*BatchNorm2D
+	Head  *Dense
+	PoolK int
+	name  string
+}
+
+// SmallCNNConfig sizes a SmallCNN.
+type SmallCNNConfig struct {
+	InChannels int
+	ImageSize  int   // square input
+	Channels   []int // output channels per conv block; each block pools 2x
+	Classes    int
+}
+
+// NewSmallCNN builds the classifier.
+func NewSmallCNN(rng *stats.RNG, cfg SmallCNNConfig) *SmallCNN {
+	m := &SmallCNN{PoolK: 2, name: "cnn"}
+	in := cfg.InChannels
+	size := cfg.ImageSize
+	for i, ch := range cfg.Channels {
+		m.Convs = append(m.Convs, NewConv2D(rng, in, ch, 3,
+			tensor.Conv2DOpts{Stride: 1, Padding: 1}, fmt.Sprintf("cnn.conv%d", i)))
+		m.Norms = append(m.Norms, NewBatchNorm2D(ch, fmt.Sprintf("cnn.bn%d", i)))
+		in = ch
+		size /= 2
+		if size < 1 {
+			panic("nn: SmallCNN pools below 1x1; use fewer blocks or larger images")
+		}
+	}
+	m.Head = NewDense(rng, in, cfg.Classes, nil, "cnn.head")
+	return m
+}
+
+// Forward maps an (N, C, H, W) batch to (N, Classes) logits.
+func (m *SmallCNN) Forward(x *autograd.Value) *autograd.Value {
+	for i, conv := range m.Convs {
+		x = conv.Forward(x)
+		x = m.Norms[i].Forward(x)
+		x = autograd.ReLU(x)
+		x = autograd.MaxPool2D(x, m.PoolK, m.PoolK)
+	}
+	pooled := autograd.AvgPoolGlobal(x) // (N, C)
+	return m.Head.Forward(pooled)
+}
+
+// Params returns all parameters.
+func (m *SmallCNN) Params() []Param {
+	var ps []Param
+	for i := range m.Convs {
+		ps = append(ps, m.Convs[i].Params()...)
+		ps = append(ps, m.Norms[i].Params()...)
+	}
+	ps = append(ps, m.Head.Params()...)
+	return ps
+}
+
+// ResidualMLPBlock is x + f(x) with a two-layer bottleneck, the dense
+// analogue of a ResNet block; NewResidualMLP stacks them. Khan et al.'s
+// WaveNet-style regression network is modelled with this shape.
+type ResidualMLPBlock struct {
+	In, Out *Dense
+}
+
+// NewResidualMLP builds depth residual blocks of the given width with a
+// final linear head to outDim.
+func NewResidualMLP(rng *stats.RNG, inDim, width, outDim, depth int) *ResidualMLP {
+	m := &ResidualMLP{
+		Input: NewDense(rng, inDim, width, autograd.Tanh, "res.in"),
+		Head:  NewDense(rng, width, outDim, nil, "res.head"),
+	}
+	for i := 0; i < depth; i++ {
+		m.Blocks = append(m.Blocks, &ResidualMLPBlock{
+			In:  NewDense(rng, width, width, autograd.Tanh, fmt.Sprintf("res.b%d.in", i)),
+			Out: NewDense(rng, width, width, nil, fmt.Sprintf("res.b%d.out", i)),
+		})
+	}
+	return m
+}
+
+// ResidualMLP is a stack of residual dense blocks.
+type ResidualMLP struct {
+	Input  *Dense
+	Blocks []*ResidualMLPBlock
+	Head   *Dense
+}
+
+// Forward applies the network to (N, inDim) input.
+func (m *ResidualMLP) Forward(x *autograd.Value) *autograd.Value {
+	h := m.Input.Forward(x)
+	for _, b := range m.Blocks {
+		h = autograd.Add(h, b.Out.Forward(b.In.Forward(h)))
+	}
+	return m.Head.Forward(h)
+}
+
+// Params returns all parameters.
+func (m *ResidualMLP) Params() []Param {
+	ps := m.Input.Params()
+	for _, b := range m.Blocks {
+		ps = append(ps, b.In.Params()...)
+		ps = append(ps, b.Out.Params()...)
+	}
+	return append(ps, m.Head.Params()...)
+}
+
+// Autoencoder is a dense encoder/decoder pair used for the conformational
+// analysis components (ANCA-AE) in the workflow case studies.
+type Autoencoder struct {
+	Encoder *Sequential
+	Decoder *Sequential
+	Latent  int
+}
+
+// NewAutoencoder builds a symmetric autoencoder: inDim -> hidden... ->
+// latent -> hidden(reversed)... -> inDim.
+func NewAutoencoder(rng *stats.RNG, inDim int, hidden []int, latent int) *Autoencoder {
+	encWidths := append(append([]int{inDim}, hidden...), latent)
+	var decWidths []int
+	decWidths = append(decWidths, latent)
+	for i := len(hidden) - 1; i >= 0; i-- {
+		decWidths = append(decWidths, hidden[i])
+	}
+	decWidths = append(decWidths, inDim)
+	return &Autoencoder{
+		Encoder: NewMLP(rng, encWidths, autograd.Tanh),
+		Decoder: NewMLP(rng, decWidths, autograd.Tanh),
+		Latent:  latent,
+	}
+}
+
+// Encode maps (N, inDim) to (N, latent).
+func (a *Autoencoder) Encode(x *autograd.Value) *autograd.Value { return a.Encoder.Forward(x) }
+
+// Forward reconstructs the input.
+func (a *Autoencoder) Forward(x *autograd.Value) *autograd.Value {
+	return a.Decoder.Forward(a.Encoder.Forward(x))
+}
+
+// Params returns encoder and decoder parameters.
+func (a *Autoencoder) Params() []Param {
+	return append(a.Encoder.Params(), a.Decoder.Params()...)
+}
+
+// CVAE is a convolution-free variational autoencoder over flattened inputs,
+// the structural miniature of the CVAE used by DeepDriveMD-style steering
+// (Casalino, Amaro, Trifan case studies).
+type CVAE struct {
+	Enc        *Sequential
+	MeanHead   *Dense
+	LogVarHead *Dense
+	Dec        *Sequential
+	Latent     int
+}
+
+// NewCVAE builds the variational autoencoder.
+func NewCVAE(rng *stats.RNG, inDim, hidden, latent int) *CVAE {
+	return &CVAE{
+		Enc:        NewMLP(rng, []int{inDim, hidden}, autograd.Tanh),
+		MeanHead:   NewDense(rng, hidden, latent, nil, "cvae.mean"),
+		LogVarHead: NewDense(rng, hidden, latent, nil, "cvae.logvar"),
+		Dec:        NewMLP(rng, []int{latent, hidden, inDim}, autograd.Tanh),
+		Latent:     latent,
+	}
+}
+
+// Forward encodes x, samples the latent with the reparameterization trick
+// using noise from rng, decodes, and returns (reconstruction, mean, logvar).
+func (c *CVAE) Forward(x *autograd.Value, rng *stats.RNG) (recon, mean, logVar *autograd.Value) {
+	h := c.Enc.Forward(x)
+	mean = c.MeanHead.Forward(h)
+	logVar = c.LogVarHead.Forward(h)
+	n := mean.Data.Dim(0)
+	eps := autograd.Constant(tensor.Randn(rng, 1, n, c.Latent))
+	std := autograd.Exp(autograd.Scale(logVar, 0.5))
+	z := autograd.Add(mean, autograd.Mul(std, eps))
+	recon = c.Dec.Forward(z)
+	return recon, mean, logVar
+}
+
+// Loss returns the negative ELBO: reconstruction MSE plus beta-weighted KL
+// divergence to the unit Gaussian.
+func (c *CVAE) Loss(x *autograd.Value, rng *stats.RNG, beta float64) *autograd.Value {
+	recon, mean, logVar := c.Forward(x, rng)
+	rec := autograd.MSE(recon, x.Data)
+	// KL(q || N(0,1)) = -0.5 * mean(1 + logvar - mean^2 - exp(logvar))
+	one := autograd.Constant(tensor.Full(1, mean.Data.Shape()...))
+	kl := autograd.Scale(autograd.Mean(
+		autograd.Sub(autograd.Add(one, logVar),
+			autograd.Add(autograd.Square(mean), autograd.Exp(logVar)))), -0.5)
+	return autograd.Add(rec, autograd.Scale(kl, beta))
+}
+
+// Params returns all parameters.
+func (c *CVAE) Params() []Param {
+	ps := c.Enc.Params()
+	ps = append(ps, c.MeanHead.Params()...)
+	ps = append(ps, c.LogVarHead.Params()...)
+	return append(ps, c.Dec.Params()...)
+}

@@ -1,0 +1,319 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+func TestDenseShapesAndParams(t *testing.T) {
+	rng := stats.NewRNG(1)
+	d := NewDense(rng, 4, 3, autograd.ReLU, "d")
+	x := autograd.Constant(tensor.Randn(rng, 1, 5, 4))
+	y := d.Forward(x)
+	if y.Data.Dim(0) != 5 || y.Data.Dim(1) != 3 {
+		t.Fatalf("dense output shape %v", y.Data.Shape())
+	}
+	if got := ParamCount(d); got != 4*3+3 {
+		t.Fatalf("param count = %d", got)
+	}
+	if len(d.Params()) != 2 || d.Params()[0].Name != "d.w" {
+		t.Fatalf("params = %v", d.Params())
+	}
+}
+
+func TestMLPGradientsFlow(t *testing.T) {
+	rng := stats.NewRNG(2)
+	mlp := NewMLP(rng, []int{3, 8, 2}, autograd.Tanh)
+	x := autograd.Constant(tensor.Randn(rng, 1, 4, 3))
+	loss := autograd.SoftmaxCrossEntropy(mlp.Forward(x), []int{0, 1, 0, 1})
+	loss.Backward(nil)
+	for _, p := range mlp.Params() {
+		if p.Value.Grad == nil {
+			t.Fatalf("parameter %s received no gradient", p.Name)
+		}
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := stats.NewRNG(3)
+	mlp := NewMLP(rng, []int{2, 8, 2}, autograd.Tanh)
+	xs := tensor.FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	x := autograd.Constant(xs)
+	lr := 0.5
+	var last float64
+	for step := 0; step < 400; step++ {
+		ZeroGrads(mlp)
+		loss := autograd.SoftmaxCrossEntropy(mlp.Forward(x), labels)
+		loss.Backward(nil)
+		for _, p := range mlp.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= lr * gd[i]
+			}
+		}
+		last = loss.Data.At(0)
+	}
+	if last > 0.05 {
+		t.Fatalf("XOR loss after training = %v", last)
+	}
+	pred := mlp.Forward(x).Data.ArgMaxRows()
+	for i, want := range labels {
+		if pred[i] != want {
+			t.Fatalf("XOR misclassified row %d", i)
+		}
+	}
+}
+
+func TestSmallCNNForward(t *testing.T) {
+	rng := stats.NewRNG(4)
+	cnn := NewSmallCNN(rng, SmallCNNConfig{
+		InChannels: 3, ImageSize: 16, Channels: []int{8, 16}, Classes: 5,
+	})
+	x := autograd.Constant(tensor.Randn(rng, 1, 2, 3, 16, 16))
+	y := cnn.Forward(x)
+	if y.Data.Dim(0) != 2 || y.Data.Dim(1) != 5 {
+		t.Fatalf("cnn output shape %v", y.Data.Shape())
+	}
+	loss := autograd.SoftmaxCrossEntropy(y, []int{1, 4})
+	loss.Backward(nil)
+	for _, p := range cnn.Params() {
+		if p.Value.Grad == nil {
+			t.Fatalf("cnn parameter %s has no grad", p.Name)
+		}
+	}
+}
+
+func TestSmallCNNTrainsOnSeparableImages(t *testing.T) {
+	rng := stats.NewRNG(5)
+	cnn := NewSmallCNN(rng, SmallCNNConfig{
+		InChannels: 1, ImageSize: 8, Channels: []int{4}, Classes: 2,
+	})
+	// Class 0: smooth images. Class 1: high-frequency checkerboard texture.
+	// Global average pooling preserves this distinction after convolution.
+	mk := func(class int) *tensor.Tensor {
+		img := tensor.New(1, 8, 8)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v := rng.NormFloat64() * 0.1
+				if class == 1 && (x+y)%2 == 0 {
+					v += 1
+				} else if class == 1 {
+					v -= 1
+				}
+				img.Set(v, 0, y, x)
+			}
+		}
+		return img
+	}
+	batch := tensor.New(8, 1, 8, 8)
+	labels := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		labels[i] = i % 2
+		copy(batch.Data()[i*64:(i+1)*64], mk(labels[i]).Data())
+	}
+	x := autograd.Constant(batch)
+	var last float64
+	for step := 0; step < 60; step++ {
+		ZeroGrads(cnn)
+		loss := autograd.SoftmaxCrossEntropy(cnn.Forward(x), labels)
+		loss.Backward(nil)
+		for _, p := range cnn.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.05 * gd[i]
+			}
+		}
+		last = loss.Data.At(0)
+	}
+	if last > 0.2 {
+		t.Fatalf("separable-image loss after training = %v", last)
+	}
+}
+
+func TestMultiHeadAttentionShapes(t *testing.T) {
+	rng := stats.NewRNG(6)
+	attn := NewMultiHeadAttention(rng, 8, 2, "attn")
+	x := autograd.Constant(tensor.Randn(rng, 1, 5, 8))
+	y := attn.Forward(x)
+	if y.Data.Dim(0) != 5 || y.Data.Dim(1) != 8 {
+		t.Fatalf("attention output shape %v", y.Data.Shape())
+	}
+	if len(attn.Params()) != 8 {
+		t.Fatalf("attention params = %d", len(attn.Params()))
+	}
+}
+
+func TestMultiHeadAttentionIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMultiHeadAttention(stats.NewRNG(1), 7, 2, "x")
+}
+
+func TestTransformerBlockGradFlow(t *testing.T) {
+	rng := stats.NewRNG(7)
+	blk := NewTransformerBlock(rng, 8, 2, 16, "blk")
+	x := autograd.NewLeaf(tensor.Randn(rng, 1, 4, 8), true)
+	out := blk.Forward(x)
+	autograd.Sum(autograd.Square(out)).Backward(nil)
+	if x.Grad == nil {
+		t.Fatal("no gradient reached the block input")
+	}
+	for _, p := range blk.Params() {
+		if p.Value.Grad == nil {
+			t.Fatalf("block parameter %s has no grad", p.Name)
+		}
+	}
+}
+
+func TestMiniBERTForwardAndOverfit(t *testing.T) {
+	rng := stats.NewRNG(8)
+	cfg := MiniBERTConfig{Vocab: 12, SeqLen: 6, Dim: 16, Heads: 2, FFDim: 32, Layers: 2}
+	bert := NewMiniBERT(rng, cfg)
+	ids := []int{3, 7, 1, 0, 9, 4}
+	targets := []int{7, 1, 0, 9, 4, 3} // next-token style task
+	logits := bert.Forward(ids)
+	if logits.Data.Dim(0) != 6 || logits.Data.Dim(1) != 12 {
+		t.Fatalf("bert logits shape %v", logits.Data.Shape())
+	}
+	var last float64
+	for step := 0; step < 80; step++ {
+		ZeroGrads(bert)
+		loss := autograd.SoftmaxCrossEntropy(bert.Forward(ids), targets)
+		loss.Backward(nil)
+		for _, p := range bert.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.05 * gd[i]
+			}
+		}
+		last = loss.Data.At(0)
+	}
+	if last > 0.1 {
+		t.Fatalf("MiniBERT failed to memorize one sequence: loss %v", last)
+	}
+}
+
+func TestResidualMLP(t *testing.T) {
+	rng := stats.NewRNG(9)
+	m := NewResidualMLP(rng, 3, 16, 1, 2)
+	x := autograd.Constant(tensor.Randn(rng, 1, 5, 3))
+	y := m.Forward(x)
+	if y.Data.Dim(0) != 5 || y.Data.Dim(1) != 1 {
+		t.Fatalf("residual MLP output shape %v", y.Data.Shape())
+	}
+	loss := autograd.MSE(y, tensor.New(5, 1))
+	loss.Backward(nil)
+	for _, p := range m.Params() {
+		if p.Value.Grad == nil {
+			t.Fatalf("residual MLP parameter %s has no grad", p.Name)
+		}
+	}
+}
+
+func TestAutoencoderReconstructs(t *testing.T) {
+	rng := stats.NewRNG(10)
+	ae := NewAutoencoder(rng, 6, []int{12}, 2)
+	// A rank-2 dataset: all rows are combinations of two basis vectors, so a
+	// 2-d latent suffices.
+	basis1 := tensor.Randn(stats.NewRNG(11), 1, 1, 6)
+	basis2 := tensor.Randn(stats.NewRNG(12), 1, 1, 6)
+	data := tensor.New(16, 6)
+	for i := 0; i < 16; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		for j := 0; j < 6; j++ {
+			data.Set(a*basis1.At(0, j)+b*basis2.At(0, j), i, j)
+		}
+	}
+	x := autograd.Constant(data)
+	var first, last float64
+	for step := 0; step < 300; step++ {
+		ZeroGrads(ae)
+		loss := autograd.MSE(ae.Forward(x), data)
+		loss.Backward(nil)
+		for _, p := range ae.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.05 * gd[i]
+			}
+		}
+		if step == 0 {
+			first = loss.Data.At(0)
+		}
+		last = loss.Data.At(0)
+	}
+	if last > first/5 {
+		t.Fatalf("autoencoder loss %v -> %v: insufficient improvement", first, last)
+	}
+}
+
+func TestCVAELossDecreases(t *testing.T) {
+	rng := stats.NewRNG(13)
+	cvae := NewCVAE(rng, 8, 16, 2)
+	data := tensor.Randn(stats.NewRNG(14), 0.5, 10, 8)
+	x := autograd.Constant(data)
+	noise := stats.NewRNG(15)
+	var first, last float64
+	for step := 0; step < 200; step++ {
+		ZeroGrads(cvae)
+		loss := cvae.Loss(x, noise, 0.01)
+		loss.Backward(nil)
+		for _, p := range cvae.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.02 * gd[i]
+			}
+		}
+		if step == 0 {
+			first = loss.Data.At(0)
+		}
+		last = loss.Data.At(0)
+	}
+	if last >= first {
+		t.Fatalf("CVAE loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestXavierHeSD(t *testing.T) {
+	if sd := XavierSD(100, 100); math.Abs(sd-0.1) > 1e-12 {
+		t.Errorf("XavierSD = %v", sd)
+	}
+	if sd := HeSD(50); math.Abs(sd-0.2) > 1e-12 {
+		t.Errorf("HeSD = %v", sd)
+	}
+}
+
+func TestEmbeddingLayer(t *testing.T) {
+	rng := stats.NewRNG(16)
+	e := NewEmbedding(rng, 10, 4, "emb")
+	out := e.Lookup([]int{1, 1, 3})
+	if out.Data.Dim(0) != 3 || out.Data.Dim(1) != 4 {
+		t.Fatalf("embedding shape %v", out.Data.Shape())
+	}
+	// Same id must give the same vector.
+	for j := 0; j < 4; j++ {
+		if out.Data.At(0, j) != out.Data.At(1, j) {
+			t.Fatal("same-id rows differ")
+		}
+	}
+}
+
+func TestParamCountMiniBERT(t *testing.T) {
+	rng := stats.NewRNG(17)
+	cfg := MiniBERTConfig{Vocab: 20, SeqLen: 8, Dim: 16, Heads: 4, FFDim: 64, Layers: 3}
+	bert := NewMiniBERT(rng, cfg)
+	// tok 20*16 + pos 8*16 + per block: attn 4 heads*(3*16*4 + 4*16) +
+	// 2 norms*2*16 + ff1 16*64+64 + ff2 64*16+16 + head 16*20+20.
+	perBlock := 4*(3*16*4+4*16) + 2*2*16 + (16*64 + 64) + (64*16 + 16)
+	want := 20*16 + 8*16 + 3*perBlock + (16*20 + 20)
+	if got := ParamCount(bert); got != want {
+		t.Fatalf("MiniBERT params = %d, want %d", got, want)
+	}
+}

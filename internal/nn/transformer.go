@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/stats"
+)
+
+// MultiHeadAttention implements scaled dot-product self-attention over a
+// single (T, D) sequence. Heads use separate projection matrices and the
+// output is the sum of per-head value projections (the standard
+// formulation with the output matrix split per head).
+type MultiHeadAttention struct {
+	Heads   int
+	HeadDim int
+	// Per head: Wq, Wk, Wv of shape (D, HeadDim) and Wo of (HeadDim, D).
+	Wq, Wk, Wv, Wo []*autograd.Value
+	name           string
+}
+
+// NewMultiHeadAttention creates attention with `heads` heads over model
+// dimension dim; dim must be divisible by heads.
+func NewMultiHeadAttention(rng *stats.RNG, dim, heads int, name string) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: model dim %d not divisible by %d heads", dim, heads))
+	}
+	hd := dim / heads
+	m := &MultiHeadAttention{Heads: heads, HeadDim: hd, name: name}
+	sd := XavierSD(dim, hd)
+	for h := 0; h < heads; h++ {
+		m.Wq = append(m.Wq, autograd.NewLeaf(randMat(rng, sd, dim, hd), true))
+		m.Wk = append(m.Wk, autograd.NewLeaf(randMat(rng, sd, dim, hd), true))
+		m.Wv = append(m.Wv, autograd.NewLeaf(randMat(rng, sd, dim, hd), true))
+		m.Wo = append(m.Wo, autograd.NewLeaf(randMat(rng, XavierSD(hd, dim), hd, dim), true))
+	}
+	return m
+}
+
+// Forward computes self-attention over the (T, D) sequence x.
+func (m *MultiHeadAttention) Forward(x *autograd.Value) *autograd.Value {
+	scale := 1 / math.Sqrt(float64(m.HeadDim))
+	var out *autograd.Value
+	for h := 0; h < m.Heads; h++ {
+		q := autograd.MatMul(x, m.Wq[h]) // (T, hd)
+		k := autograd.MatMul(x, m.Wk[h])
+		v := autograd.MatMul(x, m.Wv[h])
+		scores := autograd.Scale(autograd.MatMul(q, autograd.Transpose2D(k)), scale) // (T, T)
+		attn := autograd.Softmax(scores)
+		head := autograd.MatMul(autograd.MatMul(attn, v), m.Wo[h]) // (T, D)
+		if out == nil {
+			out = head
+		} else {
+			out = autograd.Add(out, head)
+		}
+	}
+	return out
+}
+
+// Params returns all projection matrices.
+func (m *MultiHeadAttention) Params() []Param {
+	var ps []Param
+	for h := 0; h < m.Heads; h++ {
+		ps = append(ps,
+			Param{Name: fmt.Sprintf("%s.h%d.wq", m.name, h), Value: m.Wq[h]},
+			Param{Name: fmt.Sprintf("%s.h%d.wk", m.name, h), Value: m.Wk[h]},
+			Param{Name: fmt.Sprintf("%s.h%d.wv", m.name, h), Value: m.Wv[h]},
+			Param{Name: fmt.Sprintf("%s.h%d.wo", m.name, h), Value: m.Wo[h]},
+		)
+	}
+	return ps
+}
+
+// TransformerBlock is a pre-norm transformer encoder block: attention and a
+// GELU feed-forward network, each with a residual connection.
+type TransformerBlock struct {
+	Attn     *MultiHeadAttention
+	Norm1    *LayerNorm
+	Norm2    *LayerNorm
+	FF1, FF2 *Dense
+	name     string
+}
+
+// NewTransformerBlock creates a block with model dim, head count, and
+// feed-forward width ffDim (BERT uses ffDim = 4*dim).
+func NewTransformerBlock(rng *stats.RNG, dim, heads, ffDim int, name string) *TransformerBlock {
+	return &TransformerBlock{
+		Attn:  NewMultiHeadAttention(rng, dim, heads, name+".attn"),
+		Norm1: NewLayerNorm(dim, name+".norm1"),
+		Norm2: NewLayerNorm(dim, name+".norm2"),
+		FF1:   NewDense(rng, dim, ffDim, autograd.GELU, name+".ff1"),
+		FF2:   NewDense(rng, ffDim, dim, nil, name+".ff2"),
+		name:  name,
+	}
+}
+
+// Forward applies the block to a (T, D) sequence.
+func (b *TransformerBlock) Forward(x *autograd.Value) *autograd.Value {
+	a := autograd.Add(x, b.Attn.Forward(b.Norm1.Forward(x)))
+	return autograd.Add(a, b.FF2.Forward(b.FF1.Forward(b.Norm2.Forward(a))))
+}
+
+// Params returns all block parameters.
+func (b *TransformerBlock) Params() []Param {
+	var ps []Param
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.Norm1.Params()...)
+	ps = append(ps, b.Norm2.Params()...)
+	ps = append(ps, b.FF1.Params()...)
+	ps = append(ps, b.FF2.Params()...)
+	return ps
+}
+
+// MiniBERT is a small BERT-style encoder for token-level classification:
+// token + position embeddings, a stack of transformer blocks, and a
+// per-token output head. It is the structural miniature of the SMILES
+// language model in Blanchard et al.
+type MiniBERT struct {
+	TokEmb *Embedding
+	PosEmb *Embedding
+	Blocks []*TransformerBlock
+	Head   *Dense
+	SeqLen int
+	name   string
+}
+
+// MiniBERTConfig sizes a MiniBERT.
+type MiniBERTConfig struct {
+	Vocab  int
+	SeqLen int
+	Dim    int
+	Heads  int
+	FFDim  int
+	Layers int
+}
+
+// NewMiniBERT builds the encoder.
+func NewMiniBERT(rng *stats.RNG, cfg MiniBERTConfig) *MiniBERT {
+	m := &MiniBERT{
+		TokEmb: NewEmbedding(rng, cfg.Vocab, cfg.Dim, "bert.tok"),
+		PosEmb: NewEmbedding(rng, cfg.SeqLen, cfg.Dim, "bert.pos"),
+		Head:   NewDense(rng, cfg.Dim, cfg.Vocab, nil, "bert.head"),
+		SeqLen: cfg.SeqLen,
+		name:   "bert",
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.Blocks = append(m.Blocks, NewTransformerBlock(rng, cfg.Dim, cfg.Heads, cfg.FFDim, fmt.Sprintf("bert.block%d", i)))
+	}
+	return m
+}
+
+// Forward encodes token ids (length SeqLen) into per-token vocabulary
+// logits of shape (SeqLen, Vocab).
+func (m *MiniBERT) Forward(ids []int) *autograd.Value {
+	if len(ids) != m.SeqLen {
+		panic(fmt.Sprintf("nn: MiniBERT wants %d tokens, got %d", m.SeqLen, len(ids)))
+	}
+	pos := make([]int, len(ids))
+	for i := range pos {
+		pos[i] = i
+	}
+	x := autograd.Add(m.TokEmb.Lookup(ids), m.PosEmb.Lookup(pos))
+	for _, b := range m.Blocks {
+		x = b.Forward(x)
+	}
+	return m.Head.Forward(x)
+}
+
+// Params returns all encoder parameters.
+func (m *MiniBERT) Params() []Param {
+	var ps []Param
+	ps = append(ps, m.TokEmb.Params()...)
+	ps = append(ps, m.PosEmb.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, m.Head.Params()...)
+	return ps
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+// Conv1D is a dilated causal 1-D convolution layer over (N, C, T) tensors.
+type Conv1D struct {
+	Kernel, Bias *autograd.Value
+	Dilation     int
+	name         string
+}
+
+// NewConv1D creates the layer with He-scaled kernels.
+func NewConv1D(rng *stats.RNG, inCh, outCh, k, dilation int, name string) *Conv1D {
+	return &Conv1D{
+		Kernel:   autograd.NewLeaf(tensor.Randn(rng, HeSD(inCh*k), outCh, inCh, k), true),
+		Bias:     autograd.NewLeaf(tensor.New(outCh), true),
+		Dilation: dilation,
+		name:     name,
+	}
+}
+
+// Forward convolves x.
+func (c *Conv1D) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.Conv1D(x, c.Kernel, c.Bias, c.Dilation)
+}
+
+// Params returns kernel and bias.
+func (c *Conv1D) Params() []Param {
+	return []Param{
+		{Name: c.name + ".kernel", Value: c.Kernel},
+		{Name: c.name + ".bias", Value: c.Bias},
+	}
+}
+
+// WaveNetStack is a stack of dilated causal convolutions with gated
+// activations and residual connections, doubling dilation per layer —
+// the receptive-field structure of Khan et al.'s gravitational-wave
+// network. A global average over time feeds a dense regression head.
+type WaveNetStack struct {
+	Input *Conv1D
+	Gates []*Conv1D // tanh branch
+	Filts []*Conv1D // sigmoid branch
+	Head  *Dense
+	Width int
+}
+
+// NewWaveNetStack builds `layers` dilated blocks of the given channel
+// width over 1-channel input, with a head mapping to outDim.
+func NewWaveNetStack(rng *stats.RNG, width, layers, outDim int) *WaveNetStack {
+	w := &WaveNetStack{
+		Input: NewConv1D(rng, 1, width, 2, 1, "wn.in"),
+		Head:  NewDense(rng, width, outDim, nil, "wn.head"),
+		Width: width,
+	}
+	dil := 1
+	for l := 0; l < layers; l++ {
+		w.Gates = append(w.Gates, NewConv1D(rng, width, width, 2, dil, fmt.Sprintf("wn.l%d.gate", l)))
+		w.Filts = append(w.Filts, NewConv1D(rng, width, width, 2, dil, fmt.Sprintf("wn.l%d.filt", l)))
+		dil *= 2
+	}
+	return w
+}
+
+// Forward maps (N, 1, T) series to (N, outDim) predictions.
+func (w *WaveNetStack) Forward(x *autograd.Value) *autograd.Value {
+	h := w.Input.Forward(x)
+	for l := range w.Gates {
+		gated := autograd.Mul(
+			autograd.Tanh(w.Gates[l].Forward(h)),
+			autograd.Sigmoid(w.Filts[l].Forward(h)),
+		)
+		h = autograd.Add(h, gated) // residual
+	}
+	// Global average over time: (N, C, T) -> (N, C) via a reshape to NCHW
+	// with H=1 and the global pool.
+	n, c, t := h.Data.Dim(0), h.Data.Dim(1), h.Data.Dim(2)
+	pooled := autograd.AvgPoolGlobal(autograd.Reshape(h, n, c, 1, t))
+	return w.Head.Forward(pooled)
+}
+
+// Params returns all parameters.
+func (w *WaveNetStack) Params() []Param {
+	ps := w.Input.Params()
+	for l := range w.Gates {
+		ps = append(ps, w.Gates[l].Params()...)
+		ps = append(ps, w.Filts[l].Params()...)
+	}
+	return append(ps, w.Head.Params()...)
+}
+
+// ReceptiveField returns the number of past samples each output position
+// can see: 2 from the input conv plus sum of dilations.
+func (w *WaveNetStack) ReceptiveField() int {
+	rf := 2
+	dil := 1
+	for range w.Gates {
+		rf += dil
+		dil *= 2
+	}
+	return rf
+}
+
+// GraphConv is a graph-convolution layer y = X·W1 + Â·X·W2 with a fixed
+// row-normalized adjacency Â — the message-passing core of the graph
+// neural operator (GNO) coupling component in Trifan et al.
+type GraphConv struct {
+	Self, Neigh *Dense
+	Adj         *autograd.Value // constant (Nodes, Nodes), row-normalized
+}
+
+// NewGraphConv builds the layer from an adjacency list over nNodes nodes.
+func NewGraphConv(rng *stats.RNG, nNodes, inDim, outDim int, edges [][2]int, name string) *GraphConv {
+	adj := tensor.New(nNodes, nNodes)
+	deg := make([]float64, nNodes)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= nNodes || e[1] < 0 || e[1] >= nNodes {
+			panic(fmt.Sprintf("nn: edge %v out of range", e))
+		}
+		adj.Set(1, e[0], e[1])
+		adj.Set(1, e[1], e[0])
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for i := 0; i < nNodes; i++ {
+		if deg[i] == 0 {
+			continue
+		}
+		for j := 0; j < nNodes; j++ {
+			if adj.At(i, j) != 0 {
+				adj.Set(adj.At(i, j)/deg[i], i, j)
+			}
+		}
+	}
+	return &GraphConv{
+		Self:  NewDense(rng, inDim, outDim, nil, name+".self"),
+		Neigh: NewDense(rng, inDim, outDim, nil, name+".neigh"),
+		Adj:   autograd.Constant(adj),
+	}
+}
+
+// Forward maps node features (Nodes, inDim) to (Nodes, outDim).
+func (g *GraphConv) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.Add(g.Self.Forward(x), g.Neigh.Forward(autograd.MatMul(g.Adj, x)))
+}
+
+// Params returns both weight sets.
+func (g *GraphConv) Params() []Param {
+	return append(g.Self.Params(), g.Neigh.Params()...)
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+func TestConv1DGradcheck(t *testing.T) {
+	rng := stats.NewRNG(1)
+	x := autograd.NewLeaf(tensor.Randn(rng, 1, 2, 3, 7), true)
+	for _, dilation := range []int{1, 2, 3} {
+		k := autograd.NewLeaf(tensor.Randn(rng, 1, 4, 3, 2), true)
+		b := autograd.NewLeaf(tensor.Randn(rng, 1, 4), true)
+		f := func() *autograd.Value {
+			return autograd.Sum(autograd.Square(autograd.Conv1D(x, k, b, dilation)))
+		}
+		if w := autograd.GradCheck(f, []*autograd.Value{x, k, b}, 1e-6); w > 1e-5 {
+			t.Errorf("dilation %d gradcheck error %v", dilation, w)
+		}
+	}
+}
+
+func TestConv1DCausality(t *testing.T) {
+	// Output at time t must not depend on inputs after t: perturb the last
+	// input sample and check earlier outputs are unchanged.
+	rng := stats.NewRNG(2)
+	mk := func(last float64) *tensor.Tensor {
+		x := tensor.Randn(stats.NewRNG(3), 1, 1, 1, 8)
+		x.Set(last, 0, 0, 7)
+		return x
+	}
+	k := autograd.NewLeaf(tensor.Randn(rng, 1, 1, 1, 3), true)
+	out1 := autograd.Conv1D(autograd.Constant(mk(0)), k, nil, 2)
+	out2 := autograd.Conv1D(autograd.Constant(mk(99)), k, nil, 2)
+	for tt := 0; tt < 7; tt++ {
+		if out1.Data.At(0, 0, tt) != out2.Data.At(0, 0, tt) {
+			t.Fatalf("output at t=%d depends on the future", tt)
+		}
+	}
+	if out1.Data.At(0, 0, 7) == out2.Data.At(0, 0, 7) {
+		t.Fatal("output at t=7 ignores its own input")
+	}
+}
+
+func TestConv1DKnownValues(t *testing.T) {
+	// Identity kernel [0, 1] with dilation 1 reproduces the input.
+	x := autograd.Constant(tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 4))
+	k := autograd.Constant(tensor.FromSlice([]float64{0, 1}, 1, 1, 2))
+	out := autograd.Conv1D(x, k, nil, 1)
+	if !out.Data.Equal(x.Data, 1e-12) {
+		t.Fatalf("identity conv = %v", out.Data)
+	}
+	// Difference kernel [-1, 1]: out[t] = x[t] - x[t-1] (x[-1]=0).
+	kd := autograd.Constant(tensor.FromSlice([]float64{-1, 1}, 1, 1, 2))
+	diff := autograd.Conv1D(x, kd, nil, 1)
+	want := tensor.FromSlice([]float64{1, 1, 1, 1}, 1, 1, 4)
+	if !diff.Data.Equal(want, 1e-12) {
+		t.Fatalf("difference conv = %v", diff.Data)
+	}
+}
+
+func TestWaveNetStackShapesAndRF(t *testing.T) {
+	rng := stats.NewRNG(4)
+	w := NewWaveNetStack(rng, 8, 3, 2)
+	x := autograd.Constant(tensor.Randn(rng, 1, 2, 1, 32))
+	out := w.Forward(x)
+	if out.Data.Dim(0) != 2 || out.Data.Dim(1) != 2 {
+		t.Fatalf("wavenet output shape %v", out.Data.Shape())
+	}
+	if rf := w.ReceptiveField(); rf != 2+1+2+4 {
+		t.Fatalf("receptive field = %d", rf)
+	}
+	// All parameters get gradients.
+	autograd.Sum(autograd.Square(out)).Backward(nil)
+	for _, p := range w.Params() {
+		if p.Value.Grad == nil {
+			t.Fatalf("parameter %s has no gradient", p.Name)
+		}
+	}
+}
+
+func TestWaveNetLearnsFrequencyDiscrimination(t *testing.T) {
+	rng := stats.NewRNG(5)
+	w := NewWaveNetStack(rng, 6, 2, 1)
+	// Distinguish slow from fast sinusoids by regressing the frequency id.
+	const n, tl = 8, 24
+	x := tensor.New(n, 1, tl)
+	y := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		freq := 1.0
+		if i%2 == 1 {
+			freq = 4
+		}
+		for tt := 0; tt < tl; tt++ {
+			x.Set(math.Sin(freq*float64(tt)*2*math.Pi/float64(tl)), i, 0, tt)
+		}
+		y.Set(float64(i%2), i, 0)
+	}
+	var first, last float64
+	for step := 0; step < 150; step++ {
+		ZeroGrads(w)
+		loss := autograd.MSE(w.Forward(autograd.Constant(x)), y)
+		loss.Backward(nil)
+		for _, p := range w.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.05 * gd[i]
+			}
+		}
+		if step == 0 {
+			first = loss.Data.At(0)
+		}
+		last = loss.Data.At(0)
+	}
+	if last > first/4 {
+		t.Fatalf("WaveNet loss %v -> %v", first, last)
+	}
+}
+
+func TestGraphConvShapesAndGrad(t *testing.T) {
+	rng := stats.NewRNG(6)
+	// A path graph 0-1-2-3.
+	g := NewGraphConv(rng, 4, 3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}, "gno")
+	x := autograd.NewLeaf(tensor.Randn(rng, 1, 4, 3), true)
+	out := g.Forward(x)
+	if out.Data.Dim(0) != 4 || out.Data.Dim(1) != 5 {
+		t.Fatalf("graph conv shape %v", out.Data.Shape())
+	}
+	f := func() *autograd.Value { return autograd.Sum(autograd.Square(g.Forward(x))) }
+	leaves := []*autograd.Value{x}
+	for _, p := range g.Params() {
+		leaves = append(leaves, p.Value)
+	}
+	if w := autograd.GradCheck(f, leaves, 1e-6); w > 1e-5 {
+		t.Fatalf("graph conv gradcheck error %v", w)
+	}
+}
+
+func TestGraphConvPropagatesNeighborInfo(t *testing.T) {
+	rng := stats.NewRNG(7)
+	g := NewGraphConv(rng, 3, 1, 1, [][2]int{{0, 1}}, "gno")
+	// Node 2 is isolated: its output must not change when node 0's feature
+	// changes; node 1's must.
+	x1 := tensor.FromSlice([]float64{1, 0, 0}, 3, 1)
+	x2 := tensor.FromSlice([]float64{5, 0, 0}, 3, 1)
+	o1 := g.Forward(autograd.Constant(x1)).Data
+	o2 := g.Forward(autograd.Constant(x2)).Data
+	if o1.At(2, 0) != o2.At(2, 0) {
+		t.Fatal("isolated node affected by remote feature")
+	}
+	if o1.At(1, 0) == o2.At(1, 0) {
+		t.Fatal("neighbor information did not propagate")
+	}
+}
+
+func TestGraphConvBadEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGraphConv(stats.NewRNG(1), 2, 1, 1, [][2]int{{0, 5}}, "bad")
+}

@@ -1,0 +1,303 @@
+// Package optim implements the optimizers used by the paper's scale-out
+// training studies — SGD with momentum, Adam/AdamW, and the layer-wise
+// adaptive large-batch methods LARS (Laanait et al.) and LAMB (Khan,
+// Blanchard et al.) — plus learning-rate schedules (warmup, cosine and step
+// decay) and LARC-style adaptive gradient clipping (Kurth et al.).
+package optim
+
+import (
+	"math"
+
+	"summitscale/internal/nn"
+	"summitscale/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using each parameter's current .Value.Grad.
+	// Parameters with nil gradients are skipped.
+	Step(params []nn.Param)
+	// SetLR changes the learning rate (driven by a Schedule).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay (L2).
+type SGD struct {
+	Rate        float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD creates plain SGD.
+func NewSGD(lr float64) *SGD { return &SGD{Rate: lr} }
+
+// NewMomentumSGD creates SGD with momentum.
+func NewMomentumSGD(lr, momentum float64) *SGD {
+	return &SGD{Rate: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []nn.Param) {
+	if o.velocity == nil {
+		o.velocity = map[*tensor.Tensor]*tensor.Tensor{}
+	}
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		g := p.Value.Grad
+		w := p.Value.Data
+		if o.WeightDecay != 0 {
+			g = g.Add(w.Scale(o.WeightDecay))
+		}
+		if o.Momentum != 0 {
+			v, ok := o.velocity[w]
+			if !ok {
+				v = tensor.New(w.Shape()...)
+				o.velocity[w] = v
+			}
+			v.ScaleInPlace(o.Momentum).AddInPlace(g)
+			g = v
+		}
+		wd, gd := w.Data(), g.Data()
+		for i := range wd {
+			wd[i] -= o.Rate * gd[i]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *SGD) SetLR(lr float64) { o.Rate = lr }
+
+// LR implements Optimizer.
+func (o *SGD) LR() float64 { return o.Rate }
+
+// adamState holds per-parameter moment estimates.
+type adamState struct {
+	m, v *tensor.Tensor
+}
+
+// Adam implements the Adam optimizer; with DecoupledWD it becomes AdamW.
+type Adam struct {
+	Rate         float64
+	Beta1, Beta2 float64
+	Eps          float64
+	// DecoupledWD applies decoupled weight decay (AdamW).
+	DecoupledWD float64
+	step        int
+	state       map[*tensor.Tensor]*adamState
+}
+
+// NewAdam creates Adam with the customary defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{Rate: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// NewAdamW creates AdamW with decoupled weight decay wd.
+func NewAdamW(lr, wd float64) *Adam {
+	a := NewAdam(lr)
+	a.DecoupledWD = wd
+	return a
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []nn.Param) {
+	if o.state == nil {
+		o.state = map[*tensor.Tensor]*adamState{}
+	}
+	o.step++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		w := p.Value.Data
+		st, ok := o.state[w]
+		if !ok {
+			st = &adamState{m: tensor.New(w.Shape()...), v: tensor.New(w.Shape()...)}
+			o.state[w] = st
+		}
+		wd, gd := w.Data(), p.Value.Grad.Data()
+		md, vd := st.m.Data(), st.v.Data()
+		for i := range wd {
+			g := gd[i]
+			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+			mhat := md[i] / bc1
+			vhat := vd[i] / bc2
+			upd := mhat / (math.Sqrt(vhat) + o.Eps)
+			if o.DecoupledWD != 0 {
+				upd += o.DecoupledWD * wd[i]
+			}
+			wd[i] -= o.Rate * upd
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *Adam) SetLR(lr float64) { o.Rate = lr }
+
+// LR implements Optimizer.
+func (o *Adam) LR() float64 { return o.Rate }
+
+// LARS is layer-wise adaptive rate scaling: each layer's update is
+// rescaled by trust * ||w|| / (||g|| + wd*||w||), which keeps large-batch
+// SGD stable (used by Laanait et al. with a LARS/Adam hybrid).
+type LARS struct {
+	Rate        float64
+	Momentum    float64
+	Trust       float64
+	WeightDecay float64
+	velocity    map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewLARS creates LARS with the paper-typical trust coefficient 0.001.
+func NewLARS(lr float64) *LARS {
+	return &LARS{Rate: lr, Momentum: 0.9, Trust: 0.001, WeightDecay: 1e-4}
+}
+
+// Step implements Optimizer.
+func (o *LARS) Step(params []nn.Param) {
+	if o.velocity == nil {
+		o.velocity = map[*tensor.Tensor]*tensor.Tensor{}
+	}
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		w := p.Value.Data
+		g := p.Value.Grad
+		wNorm, gNorm := w.Norm(), g.Norm()
+		localLR := 1.0
+		if wNorm > 0 && gNorm > 0 {
+			localLR = o.Trust * wNorm / (gNorm + o.WeightDecay*wNorm)
+		}
+		v, ok := o.velocity[w]
+		if !ok {
+			v = tensor.New(w.Shape()...)
+			o.velocity[w] = v
+		}
+		vd, wd, gd := v.Data(), w.Data(), g.Data()
+		for i := range wd {
+			upd := gd[i] + o.WeightDecay*wd[i]
+			vd[i] = o.Momentum*vd[i] + localLR*o.Rate*upd
+			wd[i] -= vd[i]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *LARS) SetLR(lr float64) { o.Rate = lr }
+
+// LR implements Optimizer.
+func (o *LARS) LR() float64 { return o.Rate }
+
+// LAMB is the layer-wise adaptive variant of AdamW used to hold convergence
+// at extreme global batch sizes (Khan et al.'s black-hole network, the
+// 5.8-million-sample batches of Blanchard et al.).
+type LAMB struct {
+	Rate         float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+	step         int
+	state        map[*tensor.Tensor]*adamState
+}
+
+// NewLAMB creates LAMB with customary defaults.
+func NewLAMB(lr float64) *LAMB {
+	return &LAMB{Rate: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-6, WeightDecay: 0.01}
+}
+
+// Step implements Optimizer.
+func (o *LAMB) Step(params []nn.Param) {
+	if o.state == nil {
+		o.state = map[*tensor.Tensor]*adamState{}
+	}
+	o.step++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		w := p.Value.Data
+		st, ok := o.state[w]
+		if !ok {
+			st = &adamState{m: tensor.New(w.Shape()...), v: tensor.New(w.Shape()...)}
+			o.state[w] = st
+		}
+		wd, gd := w.Data(), p.Value.Grad.Data()
+		md, vd := st.m.Data(), st.v.Data()
+		update := tensor.New(w.Shape()...)
+		ud := update.Data()
+		for i := range wd {
+			g := gd[i]
+			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+			ud[i] = md[i]/bc1/(math.Sqrt(vd[i]/bc2)+o.Eps) + o.WeightDecay*wd[i]
+		}
+		wNorm, uNorm := w.Norm(), update.Norm()
+		ratio := 1.0
+		if wNorm > 0 && uNorm > 0 {
+			ratio = wNorm / uNorm
+		}
+		for i := range wd {
+			wd[i] -= o.Rate * ratio * ud[i]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *LAMB) SetLR(lr float64) { o.Rate = lr }
+
+// LR implements Optimizer.
+func (o *LAMB) LR() float64 { return o.Rate }
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []nn.Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		n := p.Value.Grad.Norm()
+		sq += n * n
+	}
+	total := math.Sqrt(sq)
+	if total > maxNorm && total > 0 {
+		s := maxNorm / total
+		for _, p := range params {
+			if p.Value.Grad != nil {
+				p.Value.Grad.ScaleInPlace(s)
+			}
+		}
+	}
+	return total
+}
+
+// LARCClip applies LARC's per-layer adaptive clipping: each layer's
+// gradient is scaled so its implied local learning rate never exceeds
+// trust * ||w|| / ||g||, the "clip" variant of LARC used by Kurth et al.
+func LARCClip(params []nn.Param, lr, trust float64) {
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		w, g := p.Value.Data, p.Value.Grad
+		wNorm, gNorm := w.Norm(), g.Norm()
+		if wNorm == 0 || gNorm == 0 {
+			continue
+		}
+		localLR := trust * wNorm / gNorm
+		if localLR < lr {
+			g.ScaleInPlace(localLR / lr)
+		}
+	}
+}

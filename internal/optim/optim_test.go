@@ -1,0 +1,201 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/tensor"
+)
+
+// quadratic builds a single-parameter problem loss = mean((w - target)^2)
+// and returns the parameter and a loss closure.
+func quadratic(target *tensor.Tensor) (nn.Param, func() *autograd.Value) {
+	w := autograd.NewLeaf(tensor.New(target.Shape()...), true)
+	p := nn.Param{Name: "w", Value: w}
+	return p, func() *autograd.Value {
+		return autograd.MSE(w, target)
+	}
+}
+
+func runOpt(t *testing.T, opt Optimizer, steps int, lossTol float64) {
+	t.Helper()
+	target := tensor.FromSlice([]float64{1, -2, 3, 0.5}, 4)
+	p, loss := quadratic(target)
+	var last float64
+	for i := 0; i < steps; i++ {
+		p.Value.ZeroGrad()
+		l := loss()
+		l.Backward(nil)
+		opt.Step([]nn.Param{p})
+		last = l.Data.At(0)
+	}
+	if last > lossTol {
+		t.Fatalf("%T final loss = %v, want < %v", opt, last, lossTol)
+	}
+}
+
+func TestSGDConverges(t *testing.T)      { runOpt(t, NewSGD(0.3), 200, 1e-6) }
+func TestMomentumConverges(t *testing.T) { runOpt(t, NewMomentumSGD(0.1, 0.9), 200, 1e-6) }
+func TestAdamConverges(t *testing.T)     { runOpt(t, NewAdam(0.1), 400, 1e-4) }
+func TestAdamWConverges(t *testing.T)    { runOpt(t, NewAdamW(0.1, 1e-4), 400, 1e-3) }
+func TestLAMBConverges(t *testing.T)     { runOpt(t, NewLAMB(0.05), 600, 1e-2) }
+
+func TestLARSConverges(t *testing.T) {
+	// LARS normalizes by weight norm; start from nonzero weights.
+	target := tensor.FromSlice([]float64{1, -2, 3, 0.5}, 4)
+	w := autograd.NewLeaf(tensor.FromSlice([]float64{2, 1, -1, 1}, 4), true)
+	p := nn.Param{Name: "w", Value: w}
+	opt := NewLARS(20) // LARS effective step is trust*lr-scaled
+	var last float64
+	for i := 0; i < 2000; i++ {
+		p.Value.ZeroGrad()
+		l := autograd.MSE(w, target)
+		l.Backward(nil)
+		opt.Step([]nn.Param{p})
+		last = l.Data.At(0)
+	}
+	if last > 1e-2 {
+		t.Fatalf("LARS final loss = %v", last)
+	}
+}
+
+func TestSGDWithWeightDecayShrinksWeights(t *testing.T) {
+	w := autograd.NewLeaf(tensor.FromSlice([]float64{10}, 1), true)
+	p := nn.Param{Name: "w", Value: w}
+	opt := &SGD{Rate: 0.1, WeightDecay: 0.5}
+	for i := 0; i < 100; i++ {
+		// Zero data gradient: only decay acts.
+		p.Value.Grad = tensor.New(1)
+		opt.Step([]nn.Param{p})
+	}
+	if got := math.Abs(w.Data.At(0)); got > 0.1 {
+		t.Fatalf("weight decay left |w| = %v", got)
+	}
+}
+
+func TestNilGradSkipped(t *testing.T) {
+	w := autograd.NewLeaf(tensor.FromSlice([]float64{5}, 1), true)
+	p := nn.Param{Name: "w", Value: w}
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdam(0.1), NewLARS(0.1), NewLAMB(0.1)} {
+		opt.Step([]nn.Param{p})
+		if w.Data.At(0) != 5 {
+			t.Fatalf("%T updated a parameter with nil grad", opt)
+		}
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdam(0.1), NewLARS(0.1), NewLAMB(0.1)} {
+		opt.SetLR(0.42)
+		if opt.LR() != 0.42 {
+			t.Fatalf("%T SetLR failed", opt)
+		}
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	w := autograd.NewLeaf(tensor.New(2), true)
+	w.Grad = tensor.FromSlice([]float64{3, 4}, 2) // norm 5
+	pre := ClipGradNorm([]nn.Param{{Name: "w", Value: w}}, 1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", pre)
+	}
+	if n := w.Grad.Norm(); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v", n)
+	}
+	// Under the limit: untouched.
+	w.Grad = tensor.FromSlice([]float64{0.3, 0.4}, 2)
+	ClipGradNorm([]nn.Param{{Name: "w", Value: w}}, 1)
+	if n := w.Grad.Norm(); math.Abs(n-0.5) > 1e-12 {
+		t.Fatalf("small grad was clipped: %v", n)
+	}
+}
+
+func TestLARCClip(t *testing.T) {
+	w := autograd.NewLeaf(tensor.FromSlice([]float64{1, 0}, 2), true) // ||w|| = 1
+	w.Grad = tensor.FromSlice([]float64{100, 0}, 2)                   // ||g|| = 100
+	// localLR = trust*1/100 = 0.001*trust; with lr=0.1 and trust=1 ->
+	// localLR=0.01 < lr so grad is scaled by 0.1.
+	LARCClip([]nn.Param{{Name: "w", Value: w}}, 0.1, 1)
+	if got := w.Grad.At(0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("LARC-clipped grad = %v, want 10", got)
+	}
+	// When localLR >= lr nothing happens.
+	w.Grad = tensor.FromSlice([]float64{0.001, 0}, 2)
+	LARCClip([]nn.Param{{Name: "w", Value: w}}, 0.1, 1)
+	if got := w.Grad.At(0); got != 0.001 {
+		t.Fatalf("LARC modified a small gradient: %v", got)
+	}
+}
+
+func TestWarmupSchedule(t *testing.T) {
+	s := WarmupSchedule{Peak: 1, WarmupSteps: 10}
+	if r := s.Rate(0); math.Abs(r-0.1) > 1e-12 {
+		t.Errorf("warmup step 0 rate = %v", r)
+	}
+	if r := s.Rate(9); math.Abs(r-1) > 1e-12 {
+		t.Errorf("warmup step 9 rate = %v", r)
+	}
+	if r := s.Rate(100); r != 1 {
+		t.Errorf("post-warmup rate = %v", r)
+	}
+}
+
+func TestWarmupThenCosine(t *testing.T) {
+	s := WarmupSchedule{Peak: 2, WarmupSteps: 5, After: CosineSchedule{Peak: 2, Floor: 0.2, TotalSteps: 10}}
+	if r := s.Rate(5); math.Abs(r-2) > 1e-12 {
+		t.Errorf("cosine start rate = %v", r)
+	}
+	if r := s.Rate(15); math.Abs(r-0.2) > 1e-12 {
+		t.Errorf("cosine end rate = %v", r)
+	}
+	mid := s.Rate(10)
+	if mid <= 0.2 || mid >= 2 {
+		t.Errorf("cosine mid rate = %v", mid)
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Initial: 1, Gamma: 0.1, EverySteps: 10}
+	if s.Rate(9) != 1 || math.Abs(s.Rate(10)-0.1) > 1e-15 || math.Abs(s.Rate(25)-0.01) > 1e-15 {
+		t.Fatalf("step schedule rates: %v %v %v", s.Rate(9), s.Rate(10), s.Rate(25))
+	}
+}
+
+func TestLinearScaleLR(t *testing.T) {
+	if lr := LinearScaleLR(0.1, 8192, 256); math.Abs(lr-3.2) > 1e-12 {
+		t.Fatalf("linear scaling = %v", lr)
+	}
+}
+
+func TestLAMBTrustRatioBoundsUpdate(t *testing.T) {
+	// With huge gradients, LAMB's update magnitude is governed by ||w||, not
+	// ||g|| — the property that stabilizes large-batch training.
+	w := autograd.NewLeaf(tensor.FromSlice([]float64{1, 1}, 2), true)
+	w.Grad = tensor.FromSlice([]float64{1e6, 1e6}, 2)
+	before := w.Data.Clone()
+	opt := NewLAMB(0.1)
+	opt.Step([]nn.Param{{Name: "w", Value: w}})
+	delta := w.Data.Sub(before).Norm()
+	// ratio = ||w||/||update|| so step size ~= lr*||w||.
+	if delta > 0.3 {
+		t.Fatalf("LAMB step with huge grads moved weights by %v", delta)
+	}
+	if delta == 0 {
+		t.Fatal("LAMB did not move weights at all")
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction the very first Adam step is ~lr regardless of
+	// gradient magnitude.
+	w := autograd.NewLeaf(tensor.FromSlice([]float64{0}, 1), true)
+	w.Grad = tensor.FromSlice([]float64{1e-3}, 1)
+	opt := NewAdam(0.1)
+	opt.Step([]nn.Param{{Name: "w", Value: w}})
+	if got := math.Abs(w.Data.At(0)); math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("first Adam step = %v, want ~0.1", got)
+	}
+}

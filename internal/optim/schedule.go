@@ -1,0 +1,70 @@
+package optim
+
+import "math"
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	Rate(step int) float64
+}
+
+// ConstantSchedule always returns the same rate.
+type ConstantSchedule struct{ Value float64 }
+
+// Rate implements Schedule.
+func (s ConstantSchedule) Rate(int) float64 { return s.Value }
+
+// WarmupSchedule ramps linearly from 0 to Peak over WarmupSteps, then
+// delegates to After (or stays at Peak if After is nil). Linear warmup is
+// the standard companion of large-batch training (Kurth, Blanchard).
+type WarmupSchedule struct {
+	Peak        float64
+	WarmupSteps int
+	After       Schedule
+}
+
+// Rate implements Schedule.
+func (s WarmupSchedule) Rate(step int) float64 {
+	if step < s.WarmupSteps {
+		return s.Peak * float64(step+1) / float64(s.WarmupSteps)
+	}
+	if s.After == nil {
+		return s.Peak
+	}
+	return s.After.Rate(step - s.WarmupSteps)
+}
+
+// CosineSchedule decays from Peak to Floor over TotalSteps with a half
+// cosine, then holds at Floor.
+type CosineSchedule struct {
+	Peak       float64
+	Floor      float64
+	TotalSteps int
+}
+
+// Rate implements Schedule.
+func (s CosineSchedule) Rate(step int) float64 {
+	if step >= s.TotalSteps {
+		return s.Floor
+	}
+	frac := float64(step) / float64(s.TotalSteps)
+	return s.Floor + (s.Peak-s.Floor)*0.5*(1+math.Cos(math.Pi*frac))
+}
+
+// StepSchedule multiplies the rate by Gamma every EverySteps steps.
+type StepSchedule struct {
+	Initial    float64
+	Gamma      float64
+	EverySteps int
+}
+
+// Rate implements Schedule.
+func (s StepSchedule) Rate(step int) float64 {
+	return s.Initial * math.Pow(s.Gamma, float64(step/s.EverySteps))
+}
+
+// LinearScaleLR applies the linear batch-size scaling rule: the base rate
+// tuned at refBatch is scaled by batch/refBatch. This is the rule that
+// makes the warmup + LARS/LAMB machinery necessary at Summit scale.
+func LinearScaleLR(base float64, batch, refBatch int) float64 {
+	return base * float64(batch) / float64(refBatch)
+}

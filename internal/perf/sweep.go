@@ -1,0 +1,101 @@
+package perf
+
+import (
+	"summitscale/internal/units"
+)
+
+// StrongScalingCurve evaluates the job at fixed *global* batch: as nodes
+// grow, the per-device micro-batch shrinks (floor 1), which is how
+// strong-scaling DL runs lose efficiency even before communication bites.
+// globalBatch must be at least the device count of the largest point.
+func StrongScalingCurve(j Job, globalBatch int, nodes []int) []Point {
+	if len(nodes) == 0 {
+		panic("perf: empty node list")
+	}
+	pts := make([]Point, len(nodes))
+	var baseTime float64
+	for i, n := range nodes {
+		jn := j
+		jn.Nodes = n
+		devices := n * max(1, j.GPUsPerNode)
+		per := globalBatch / devices
+		if per < 1 {
+			per = 1
+		}
+		m := jn.Model
+		m.PerGPUBatch = per
+		jn.Model = m
+		b := Analyze(jn)
+		// Time to process the global batch once.
+		t := float64(b.Total)
+		pts[i] = Point{
+			Nodes:      n,
+			Throughput: float64(devices*per*max(1, jn.AccumSteps)) / t,
+			Flops:      SustainedFlops(jn),
+			Step:       b,
+		}
+		if i == 0 {
+			baseTime = t * float64(devices)
+		}
+		// Strong-scaling efficiency: speedup / node ratio relative to the
+		// first point, at equal work.
+		pts[i].Efficiency = baseTime / (t * float64(devices))
+	}
+	return pts
+}
+
+// BatchSweepPoint reports the communication intensity at one per-device
+// batch size.
+type BatchSweepPoint struct {
+	PerGPUBatch  int
+	CommFraction float64 // exposed comm / total step time
+	Throughput   float64
+}
+
+// BatchSweep varies the per-device batch and reports how the exposed
+// communication fraction falls as computation grows — the §VI-B reasoning
+// for why small-batch (strong-scaled or GAN-constrained) jobs are
+// communication-bound.
+func BatchSweep(j Job, batches []int) []BatchSweepPoint {
+	out := make([]BatchSweepPoint, len(batches))
+	for i, bsz := range batches {
+		jn := j
+		m := jn.Model
+		m.PerGPUBatch = bsz
+		jn.Model = m
+		b := Analyze(jn)
+		out[i] = BatchSweepPoint{
+			PerGPUBatch:  bsz,
+			CommFraction: float64(b.ExposedComm) / float64(b.Total),
+			Throughput:   Throughput(jn),
+		}
+	}
+	return out
+}
+
+// CommBoundModelSize returns the gradient size (bytes) at which the
+// allreduce time equals the per-step compute time for the job — the
+// paper's "models larger than BERT-large become communication-bound"
+// threshold, found by bisection over a synthetic gradient size.
+func CommBoundModelSize(j Job) units.Bytes {
+	compute := float64(j.AccumStepsOrOne()) * float64(j.Model.PerGPUBatch) / j.Model.SingleGPUThroughput
+	lo, hi := 1.0, 1e12
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		t := float64(j.Fabric.RingAllReduce(j.Nodes, units.Bytes(mid)))
+		if t < compute {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return units.Bytes(hi)
+}
+
+// AccumStepsOrOne returns the accumulation count, defaulting to 1.
+func (j Job) AccumStepsOrOne() int {
+	if j.AccumSteps <= 0 {
+		return 1
+	}
+	return j.AccumSteps
+}

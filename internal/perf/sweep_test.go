@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/models"
+	"summitscale/internal/units"
+)
+
+func TestStrongScalingEfficiencyDrops(t *testing.T) {
+	j := SummitJob(models.ResNet50(), 1)
+	j.OverlapComm = 0.5
+	pts := StrongScalingCurve(j, 16384, []int{1, 4, 16, 64})
+	if pts[0].Efficiency != 1 {
+		t.Fatalf("base efficiency %v", pts[0].Efficiency)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Efficiency > pts[i-1].Efficiency+1e-9 {
+			t.Fatalf("strong-scaling efficiency rose: %+v", pts)
+		}
+	}
+	// Per-device batch shrinks with nodes: last point's compute per step is
+	// smaller than the first's.
+	if pts[len(pts)-1].Step.Compute >= pts[0].Step.Compute {
+		t.Fatal("per-device work did not shrink under strong scaling")
+	}
+}
+
+func TestStrongScalingFloorsBatchAtOne(t *testing.T) {
+	j := SummitJob(models.ResNet50(), 1)
+	pts := StrongScalingCurve(j, 8, []int{1024}) // 6144 devices, batch floors at 1
+	want := 1.0 / j.Model.SingleGPUThroughput
+	if math.Abs(float64(pts[0].Step.Compute)-want) > 1e-12 {
+		t.Fatalf("floored compute = %v, want %v", pts[0].Step.Compute, want)
+	}
+}
+
+func TestBatchSweepReducesCommFraction(t *testing.T) {
+	j := SummitJob(models.BERTLarge(), 1024)
+	j.OverlapComm = 0
+	pts := BatchSweep(j, []int{1, 4, 16, 64})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CommFraction >= pts[i-1].CommFraction {
+			t.Fatalf("comm fraction not decreasing with batch: %+v", pts)
+		}
+	}
+	if pts[0].CommFraction < 0.3 {
+		t.Fatalf("batch-1 BERT should be strongly comm-bound: %v", pts[0].CommFraction)
+	}
+}
+
+// TestCommBoundThresholdNearBERT reproduces the §VI-B statement: on Summit
+// "models larger than BERT-large become communication-bound for the widely
+// used data-parallel training". The crossover gradient size for a typical
+// BERT training step should be of the same magnitude as BERT-large's
+// 1.4 GB message.
+func TestCommBoundThresholdNearBERT(t *testing.T) {
+	j := SummitJob(models.BERTLarge(), 4032)
+	threshold := CommBoundModelSize(j)
+	bert := models.BERTLarge().GradientBytes()
+	ratio := float64(threshold) / float64(bert)
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("comm-bound threshold %v vs BERT-large gradient %v (ratio %v)",
+			threshold, bert, ratio)
+	}
+}
+
+func TestCommBoundGrowsWithBatch(t *testing.T) {
+	j := SummitJob(models.BERTLarge(), 1024)
+	small := CommBoundModelSize(j)
+	j.AccumSteps = 8
+	big := CommBoundModelSize(j)
+	if units.Bytes(big) <= units.Bytes(small) {
+		t.Fatalf("accumulation did not raise the comm-bound threshold: %v vs %v", big, small)
+	}
+}

@@ -1,0 +1,88 @@
+package portfolio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteProjectsCSV exports the full project-year table for external
+// plotting or auditing.
+func (d *Dataset) WriteProjectsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "program", "year", "domain", "subdomain",
+		"status", "method", "motif", "allocation_hours", "max_nodes"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range d.Projects {
+		rec := []string{
+			p.ID, p.Program.String(), strconv.Itoa(p.Year), p.Domain.String(),
+			p.Subdomain, p.Status.String(), p.Method.String(), p.Motif.String(),
+			strconv.FormatFloat(p.AllocationHours, 'f', 0, 64),
+			strconv.Itoa(p.MaxNodes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure6CSV exports the motif × domain matrix (Figure 6) as CSV.
+func (d *Dataset) WriteFigure6CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	f6 := d.Figure6()
+	header := []string{"domain"}
+	for _, m := range Motifs() {
+		header = append(header, m.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, dom := range Domains() {
+		rec := []string{dom.String()}
+		for _, m := range Motifs() {
+			rec = append(rec, strconv.Itoa(f6[dom][m]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure2CSV exports adoption by program-year (Figure 2) as CSV.
+func (d *Dataset) WriteFigure2CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"program", "year", "active", "inactive", "none"}); err != nil {
+		return err
+	}
+	f2 := d.Figure2()
+	progs := []Program{INCITE, ALCC, DD, ECP, COVID}
+	for _, prog := range progs {
+		years := make([]int, 0, len(f2[prog]))
+		for yr := range f2[prog] {
+			years = append(years, yr)
+		}
+		sort.Ints(years)
+		for _, yr := range years {
+			f := f2[prog][yr]
+			rec := []string{
+				prog.String(), strconv.Itoa(yr),
+				fmt.Sprintf("%.4f", f.Active),
+				fmt.Sprintf("%.4f", f.Inactive),
+				fmt.Sprintf("%.4f", f.None),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,92 @@
+package portfolio
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestProjectsCSV(t *testing.T) {
+	d := study()
+	var buf bytes.Buffer
+	if err := d.WriteProjectsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(d.Projects)+1 {
+		t.Fatalf("%d rows for %d projects", len(rows), len(d.Projects))
+	}
+	if rows[0][0] != "id" || rows[0][7] != "motif" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// Every data row parses.
+	for i, row := range rows[1:] {
+		if len(row) != 10 {
+			t.Fatalf("row %d has %d fields", i, len(row))
+		}
+		if _, err := strconv.Atoi(row[2]); err != nil {
+			t.Fatalf("row %d year %q", i, row[2])
+		}
+		if _, err := strconv.ParseFloat(row[8], 64); err != nil {
+			t.Fatalf("row %d hours %q", i, row[8])
+		}
+	}
+}
+
+func TestFigure6CSVMatchesAnalytics(t *testing.T) {
+	d := study()
+	var buf bytes.Buffer
+	if err := d.WriteFigure6CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // header + 9 domains
+		t.Fatalf("%d rows", len(rows))
+	}
+	f6 := d.Figure6()
+	// Spot-check Engineering row, submodel column (index 3 in Motifs()).
+	for _, row := range rows[1:] {
+		if row[0] != Engineering.String() {
+			continue
+		}
+		got, _ := strconv.Atoi(row[3]) // columns: domain, fault, mathcs, submodel
+		if got != f6[Engineering][Submodel] {
+			t.Fatalf("CSV Engineering×Submodel = %d, analytics %d",
+				got, f6[Engineering][Submodel])
+		}
+	}
+}
+
+func TestFigure2CSV(t *testing.T) {
+	d := study()
+	var buf bytes.Buffer
+	if err := d.WriteFigure2CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// INCITE 4 years + ALCC 3 + DD 3 + ECP 1 + COVID 1 + header = 13.
+	if len(rows) != 13 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows[1:] {
+		a, err1 := strconv.ParseFloat(row[2], 64)
+		i, err2 := strconv.ParseFloat(row[3], 64)
+		n, err3 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		if s := a + i + n; s < 0.99 || s > 1.01 {
+			t.Fatalf("fractions sum to %v in %v", s, row)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package portfolio
+
+// GBCategory distinguishes the standard and COVID-19 special Gordon Bell
+// competitions.
+type GBCategory int
+
+// Gordon Bell competition categories.
+const (
+	GBStandard GBCategory = iota
+	GBCovid
+)
+
+func (c GBCategory) String() string {
+	if c == GBCovid {
+		return "COVID-19"
+	}
+	return "std"
+}
+
+// GBRecord is one Summit Gordon Bell finalist (Table III / §IV-A).
+type GBRecord struct {
+	Project
+	Category GBCategory
+	// UsesAIML marks the ten AI/ML-powered finalists reviewed in §IV-A.
+	UsesAIML bool
+	// PeakPFMixed is the reported mixed-precision peak, when given.
+	PeakPFMixed float64
+}
+
+// GordonBellRecords returns the 17 Summit finalist project-years of
+// Table III. The ten AI/ML finalists carry the paper's §IV-A details
+// (motif, scalability); the seven non-AI finalists are anonymous
+// placeholders that only contribute to Table III counts.
+func GordonBellRecords() []GBRecord {
+	ai := func(year int, name string, motif Motif, dom Domain, nodes int, cat GBCategory, pf float64) GBRecord {
+		return GBRecord{
+			Project: Project{
+				ID: "GB-" + name, Name: name, Program: GordonBell, Year: year,
+				Domain: dom, Status: Active, Method: DeepLearning, Motif: motif,
+				MaxNodes: nodes,
+			},
+			Category: cat, UsesAIML: true, PeakPFMixed: pf,
+		}
+	}
+	nonAI := func(year int, id string, dom Domain, cat GBCategory) GBRecord {
+		return GBRecord{
+			Project: Project{
+				ID: id, Program: GordonBell, Year: year, Domain: dom, Status: None,
+				MaxNodes: 4608,
+			},
+			Category: cat,
+		}
+	}
+	return []GBRecord{
+		// 2018 standard: 5 finalists, 3 AI/ML.
+		ai(2018, "Ichimura et al. (earthquake NN preconditioner)", MathCSAlgorithm, EarthScience, 4096, GBStandard, 0),
+		ai(2018, "Patton et al. (microscopy DNN hyperparameter tuning)", Classification, Materials, 4200, GBStandard, 152.5),
+		ai(2018, "Kurth et al. (exascale climate analytics)", Classification, EarthScience, 4560, GBStandard, 1130),
+		nonAI(2018, "GB-2018-modsim-1", Physics, GBStandard),
+		nonAI(2018, "GB-2018-modsim-2", Materials, GBStandard),
+		// 2019 standard: 2 finalists, 0 AI/ML.
+		nonAI(2019, "GB-2019-modsim-1", Physics, GBStandard),
+		nonAI(2019, "GB-2019-modsim-2", Engineering, GBStandard),
+		// 2020 standard: 4 finalists, 1 AI/ML.
+		ai(2020, "Jia et al. (DeePMD-kit 100M-atom MD)", MDPotentials, Materials, 4560, GBStandard, 0),
+		nonAI(2020, "GB-2020-modsim-1", Physics, GBStandard),
+		nonAI(2020, "GB-2020-modsim-2", EarthScience, GBStandard),
+		nonAI(2020, "GB-2020-modsim-3", Engineering, GBStandard),
+		// 2020 COVID-19: 2 finalists, 2 AI/ML.
+		ai(2020, "Casalino et al. (spike dynamics, PointNet-AAE steering)", Steering, Biology, 4096, GBCovid, 0),
+		ai(2020, "Glaser et al. (virtual drug screening, random forests)", SurrogateModel, Biology, 4602, GBCovid, 0),
+		// 2021 standard: 1 finalist, 1 AI/ML.
+		ai(2021, "Nguyen-Cong et al. (SNAP carbon MD)", MDPotentials, Materials, 4650, GBStandard, 0),
+		// 2021 COVID-19: 3 finalists, 3 AI/ML.
+		ai(2021, "Blanchard et al. (SARS-CoV-2 inhibitor language models)", Classification, Biology, 4032, GBCovid, 603),
+		ai(2021, "Amaro et al. (#COVIDisAirborne, DeepDriveMD)", Steering, Biology, 4096, GBCovid, 0),
+		ai(2021, "Trifan et al. (replication-transcription multiscale)", Steering, Biology, 256, GBCovid, 0),
+	}
+}
+
+// GordonBellProjects returns the finalists as plain project records.
+func GordonBellProjects() []Project {
+	recs := GordonBellRecords()
+	out := make([]Project, len(recs))
+	for i, r := range recs {
+		out[i] = r.Project
+	}
+	return out
+}
+
+// TableIIIRow is one column of Table III.
+type TableIIIRow struct {
+	Year     int
+	Category GBCategory
+	Summit   int
+	SummitAI int
+}
+
+// TableIII tallies Summit Gordon Bell finalists by year and category.
+func TableIII() []TableIIIRow {
+	cells := []struct {
+		year int
+		cat  GBCategory
+	}{
+		{2018, GBStandard}, {2019, GBStandard}, {2020, GBStandard},
+		{2020, GBCovid}, {2021, GBStandard}, {2021, GBCovid},
+	}
+	var rows []TableIIIRow
+	for _, c := range cells {
+		row := TableIIIRow{Year: c.year, Category: c.cat}
+		for _, r := range GordonBellRecords() {
+			if r.Year == c.year && r.Category == c.cat {
+				row.Summit++
+				if r.UsesAIML {
+					row.SummitAI++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

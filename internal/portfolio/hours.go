@@ -1,0 +1,81 @@
+package portfolio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HoursBreakdown is the allocation-hours view the paper mentions as the
+// alternative to project counts ("one could consider ... total allocation
+// hours summed across relevant projects").
+type HoursBreakdown struct {
+	ByStatus  map[Status]float64
+	ByDomain  map[Domain]float64
+	ByProgram map[Program]float64
+	Total     float64
+}
+
+// Hours computes the allocation-hours breakdown over non-GB projects.
+func (d *Dataset) Hours() HoursBreakdown {
+	h := HoursBreakdown{
+		ByStatus:  map[Status]float64{},
+		ByDomain:  map[Domain]float64{},
+		ByProgram: map[Program]float64{},
+	}
+	for _, p := range d.NonGB() {
+		h.ByStatus[p.Status] += p.AllocationHours
+		h.ByDomain[p.Domain] += p.AllocationHours
+		h.ByProgram[p.Program] += p.AllocationHours
+		h.Total += p.AllocationHours
+	}
+	return h
+}
+
+// AIHoursFraction returns the fraction of granted node-hours held by
+// projects actively or inactively using AI/ML.
+func (d *Dataset) AIHoursFraction() float64 {
+	h := d.Hours()
+	if h.Total == 0 {
+		return 0
+	}
+	return (h.ByStatus[Active] + h.ByStatus[Inactive]) / h.Total
+}
+
+// TopDomainsByAIHours ranks domains by node-hours granted to AI-using
+// projects.
+func (d *Dataset) TopDomainsByAIHours(n int) []Domain {
+	hours := map[Domain]float64{}
+	for _, p := range d.NonGB() {
+		if p.UsesAI() {
+			hours[p.Domain] += p.AllocationHours
+		}
+	}
+	doms := Domains()
+	sort.SliceStable(doms, func(i, j int) bool { return hours[doms[i]] > hours[doms[j]] })
+	if n > len(doms) {
+		n = len(doms)
+	}
+	return doms[:n]
+}
+
+// RenderHours renders the allocation-hours view.
+func (d *Dataset) RenderHours() string {
+	h := d.Hours()
+	var b strings.Builder
+	b.WriteString("Allocation node-hours by AI/ML adoption status\n")
+	for _, s := range []Status{Active, Inactive, None} {
+		frac := 0.0
+		if h.Total > 0 {
+			frac = h.ByStatus[s] / h.Total
+		}
+		fmt.Fprintf(&b, "  %-9s %12.0f node-hours  (%5.1f%%)\n", s, h.ByStatus[s], 100*frac)
+	}
+	fmt.Fprintf(&b, "  AI-using share of hours: %.1f%%\n", 100*d.AIHoursFraction())
+	b.WriteString("  top domains by AI node-hours:")
+	for _, dom := range d.TopDomainsByAIHours(3) {
+		fmt.Fprintf(&b, " %s;", dom)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

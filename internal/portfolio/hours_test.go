@@ -1,0 +1,67 @@
+package portfolio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHoursSumToTotal(t *testing.T) {
+	d := study()
+	h := d.Hours()
+	var byStatus, byDomain, byProgram float64
+	for _, v := range h.ByStatus {
+		byStatus += v
+	}
+	for _, v := range h.ByDomain {
+		byDomain += v
+	}
+	for _, v := range h.ByProgram {
+		byProgram += v
+	}
+	for name, v := range map[string]float64{
+		"status": byStatus, "domain": byDomain, "program": byProgram,
+	} {
+		if math.Abs(v-h.Total)/h.Total > 1e-9 {
+			t.Errorf("%s hours sum %v vs total %v", name, v, h.Total)
+		}
+	}
+	if h.Total <= 0 {
+		t.Fatal("no hours")
+	}
+}
+
+func TestAIHoursFractionPlausible(t *testing.T) {
+	frac := study().AIHoursFraction()
+	// AI projects are ~41% of project counts but INCITE (largest
+	// allocations) adopts less than DD, so the hours share sits in a band
+	// around the count share.
+	if frac < 0.2 || frac > 0.6 {
+		t.Fatalf("AI hours fraction = %v", frac)
+	}
+}
+
+func TestTopDomainsByAIHours(t *testing.T) {
+	top := study().TopDomainsByAIHours(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	// They must be distinct.
+	if top[0] == top[1] || top[1] == top[2] || top[0] == top[2] {
+		t.Fatalf("duplicate domains: %v", top)
+	}
+	// Request more than exist.
+	all := study().TopDomainsByAIHours(100)
+	if len(all) != 9 {
+		t.Fatalf("all = %d domains", len(all))
+	}
+}
+
+func TestRenderHours(t *testing.T) {
+	out := study().RenderHours()
+	for _, frag := range []string{"node-hours", "active", "AI-using share"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

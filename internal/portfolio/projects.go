@@ -1,0 +1,244 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"summitscale/internal/stats"
+)
+
+// Project is one project-year record.
+type Project struct {
+	ID        string
+	Program   Program
+	Year      int
+	Domain    Domain
+	Subdomain string
+	Status    Status
+	Method    Method
+	Motif     Motif
+	// AllocationHours is the granted Summit node-hours.
+	AllocationHours float64
+	// MaxNodes is the largest node count the project reports using.
+	MaxNodes int
+	// Name is set for the documented Gordon Bell records.
+	Name string
+}
+
+// UsesAI reports active or inactive AI/ML adoption.
+func (p Project) UsesAI() bool { return p.Status != None }
+
+// Dataset is the reconstructed portfolio.
+type Dataset struct {
+	Projects []Project
+}
+
+// programYearPlan calibrates one program-year block to the paper's
+// reported marginals (§II-C counts; Figure 2 adoption trajectories).
+type programYearPlan struct {
+	program        Program
+	year           int
+	count          int
+	activeFrac     float64
+	inactiveFrac   float64
+	domainWeights  []float64 // indexed by Domain
+	meanAllocation float64   // node-hours
+}
+
+// plans returns the calibrated program-year blocks: 147 INCITE (2019-22),
+// 72 ALCC (2019-21 cycles), 352 DD (2019-21), 62 ECP, 12 non-DD COVID —
+// 645 project-years, with Gordon Bell's 17 finalists added separately.
+func plans() []programYearPlan {
+	// Domain mixes per program. INCITE/ALCC lean to traditional modsim
+	// domains; DD has a long tail of Computer Science and Biology
+	// exploration; COVID is biology/chemistry.
+	inciteMix := []float64{4, 2, 1.5, 3, 7.5, 3.5, 5, 1, 10}
+	alccMix := []float64{3, 1.5, 1, 3, 6.5, 3, 4, 1.5, 6}
+	ddMix := []float64{7, 2, 6, 3, 5, 2, 5, 1, 7}
+	ecpMix := []float64{2, 2, 3, 2, 4, 2, 3, 1, 5}
+	covidMix := []float64{9, 2, 1, 0, 0, 0, 0.5, 0, 0.5}
+
+	var ps []programYearPlan
+	// INCITE: steady growth from 20% active in 2019 to 31% in 2022, with
+	// another 28% inactive by 2022 (paper's conclusions).
+	inciteActive := map[int]float64{2019: 0.20, 2020: 0.24, 2021: 0.28, 2022: 0.31}
+	inciteInactive := map[int]float64{2019: 0.16, 2020: 0.20, 2021: 0.24, 2022: 0.28}
+	inciteCounts := map[int]int{2019: 36, 2020: 37, 2021: 37, 2022: 37}
+	for yr := 2019; yr <= 2022; yr++ {
+		ps = append(ps, programYearPlan{INCITE, yr, inciteCounts[yr],
+			inciteActive[yr], inciteInactive[yr], inciteMix, 500_000})
+	}
+	// ALCC: fewer projects, with especially heavy usage in the 2019-20
+	// cycle ("a large subset of a smaller number of projects").
+	alccActive := map[int]float64{2019: 0.45, 2020: 0.42, 2021: 0.30}
+	alccCounts := map[int]int{2019: 22, 2020: 24, 2021: 26}
+	for yr := 2019; yr <= 2021; yr++ {
+		ps = append(ps, programYearPlan{ALCC, yr, alccCounts[yr],
+			alccActive[yr], 0.10, alccMix, 300_000})
+	}
+	// DD: very many projects, many using AI/ML; short proposals rarely
+	// document merely-planned usage, so inactive is low.
+	ddActive := map[int]float64{2019: 0.33, 2020: 0.36, 2021: 0.38}
+	ddCounts := map[int]int{2019: 115, 2020: 118, 2021: 119}
+	for yr := 2019; yr <= 2021; yr++ {
+		ps = append(ps, programYearPlan{DD, yr, ddCounts[yr],
+			ddActive[yr], 0.03, ddMix, 30_000})
+	}
+	// ECP: constrained by project goals fixed early in the program.
+	ps = append(ps, programYearPlan{ECP, 2020, 62, 0.16, 0.08, ecpMix, 100_000})
+	// COVID consortium (non-DD): heavy AI for drug discovery.
+	ps = append(ps, programYearPlan{COVID, 2020, 12, 0.75, 0.08, covidMix, 75_000})
+	return ps
+}
+
+// adoptionMultiplier scales a block's adoption odds per domain (Figure 4's
+// domain-specific usage: Computer Science ~all, Biology/Materials heavy,
+// Nuclear Energy light).
+func adoptionMultiplier(d Domain) float64 {
+	switch d {
+	case ComputerScience:
+		return 2.4
+	case Biology:
+		return 1.6
+	case Materials:
+		return 1.35
+	case Engineering, EarthScience:
+		return 1.0
+	case FusionPlasma:
+		return 0.9
+	case Chemistry:
+		return 0.7
+	case Physics:
+		return 0.6
+	case NuclearEnergy:
+		return 0.3
+	default:
+		return 1
+	}
+}
+
+// motifWeights returns Figure 6's domain-conditional motif distribution.
+// Structural zeros from the paper's discussion: Biology uses no grid
+// submodels (MD potentials instead), Computer Science has no math/cs
+// algorithm projects (Classification/Various capture them).
+func motifWeights(d Domain) []float64 {
+	w := make([]float64, numMotifs)
+	switch d {
+	case Engineering:
+		w[Submodel], w[Analysis], w[SurrogateModel], w[Steering] = 14, 2, 2.5, 1
+		w[MathCSAlgorithm], w[MotifUndetermined] = 1, 1
+	case EarthScience:
+		w[Submodel], w[Analysis], w[SurrogateModel], w[Classification] = 6, 2, 2, 0.5
+		w[MotifUndetermined] = 1
+	case Biology:
+		w[MDPotentials], w[Steering], w[Analysis], w[Classification] = 3, 3, 3, 3
+		w[SurrogateModel], w[MLModsimLoop], w[MotifUndetermined] = 2, 1, 1
+	case ComputerScience:
+		w[Classification], w[Various], w[Analysis] = 8, 3, 1.5
+		w[MotifUndetermined] = 0.5
+	case Materials:
+		w[MDPotentials], w[Submodel], w[Analysis], w[SurrogateModel] = 7, 2, 2, 2
+		w[MLModsimLoop], w[MotifUndetermined] = 1.5, 1
+	case FusionPlasma:
+		w[MDPotentials], w[Submodel], w[SurrogateModel], w[Steering] = 2, 2, 3, 1
+		w[Analysis], w[MotifUndetermined] = 1.5, 1
+	case Physics:
+		w[Classification], w[Analysis], w[MathCSAlgorithm], w[SurrogateModel] = 3, 3, 1, 2
+		w[Submodel], w[MotifUndetermined] = 1, 1
+	case Chemistry:
+		w[MDPotentials], w[Analysis], w[SurrogateModel] = 3, 2, 2
+		w[MotifUndetermined] = 1
+	case NuclearEnergy:
+		w[Submodel], w[SurrogateModel], w[MotifUndetermined] = 2, 2, 1
+	}
+	return w
+}
+
+// methodWeights returns Figure 3's method mix conditional on motif: deep
+// learning dominates, classical ML persists in surrogate/analysis work.
+func methodWeights(m Motif) []float64 {
+	w := make([]float64, numMethods)
+	switch m {
+	case SurrogateModel, Analysis:
+		w[DeepLearning], w[OtherNeuralNetwork], w[OtherML], w[MethodUndetermined] = 4, 1, 3, 1
+	case MDPotentials:
+		w[DeepLearning], w[OtherNeuralNetwork], w[OtherML], w[MethodUndetermined] = 5, 2, 2, 0.5
+	case MotifUndetermined:
+		w[DeepLearning], w[OtherML], w[MethodUndetermined] = 1, 0.5, 3
+	default:
+		w[DeepLearning], w[OtherNeuralNetwork], w[OtherML], w[MethodUndetermined] = 6, 1.5, 1.5, 1
+	}
+	return w
+}
+
+// Generate reconstructs the portfolio deterministically from seed. The
+// default study dataset uses seed 1.
+func Generate(seed uint64) *Dataset {
+	rng := stats.NewRNG(seed)
+	ds := &Dataset{}
+	subs := TableII()
+	for _, plan := range plans() {
+		// Integer adoption quotas for the block keep Figure 2 exact.
+		nActive := int(plan.activeFrac*float64(plan.count) + 0.5)
+		nInactive := int(plan.inactiveFrac*float64(plan.count) + 0.5)
+		statuses := make([]Status, 0, plan.count)
+		for i := 0; i < nActive; i++ {
+			statuses = append(statuses, Active)
+		}
+		for i := 0; i < nInactive; i++ {
+			statuses = append(statuses, Inactive)
+		}
+		for len(statuses) < plan.count {
+			statuses = append(statuses, None)
+		}
+
+		// Domains: AI-adopting projects are biased toward the high-adoption
+		// domains via the multiplier; non-AI projects inversely.
+		for i, st := range statuses {
+			w := make([]float64, numDomains)
+			for d := 0; d < int(numDomains); d++ {
+				base := plan.domainWeights[d]
+				mult := adoptionMultiplier(Domain(d))
+				if st == None {
+					w[d] = base / mult
+				} else {
+					w[d] = base * mult
+				}
+			}
+			dom := Domain(rng.Categorical(w))
+			p := Project{
+				ID:              fmt.Sprintf("%s-%d-%03d", plan.program, plan.year, i),
+				Program:         plan.program,
+				Year:            plan.year,
+				Domain:          dom,
+				Subdomain:       subs[dom][rng.Intn(len(subs[dom]))],
+				Status:          st,
+				AllocationHours: plan.meanAllocation * (0.5 + rng.ExpFloat64()),
+				MaxNodes:        64 << rng.Intn(7), // 64..4096
+			}
+			if st != None {
+				p.Motif = Motif(rng.Categorical(motifWeights(dom)))
+				p.Method = Method(rng.Categorical(methodWeights(p.Motif)))
+			}
+			ds.Projects = append(ds.Projects, p)
+		}
+	}
+	ds.Projects = append(ds.Projects, GordonBellProjects()...)
+	return ds
+}
+
+// Filter returns the projects matching keep.
+func (d *Dataset) Filter(keep func(Project) bool) []Project {
+	var out []Project
+	for _, p := range d.Projects {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NonGB returns all project-years outside the Gordon Bell set (the paper
+// analyzes those separately).
+func (d *Dataset) NonGB() []Project {
+	return d.Filter(func(p Project) bool { return p.Program != GordonBell })
+}

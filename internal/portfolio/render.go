@@ -1,0 +1,195 @@
+package portfolio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// bar renders a proportional ASCII bar.
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// RenderFigure1 renders the overall adoption chart.
+func (d *Dataset) RenderFigure1() string {
+	f := d.Figure1()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Overall AI/ML usage, percentage of projects (n=%d)\n", len(d.NonGB()))
+	fmt.Fprintf(&b, "  active   %5.1f%% |%s|\n", 100*f.Active, bar(f.Active, 40))
+	fmt.Fprintf(&b, "  inactive %5.1f%% |%s|\n", 100*f.Inactive, bar(f.Inactive, 40))
+	fmt.Fprintf(&b, "  none     %5.1f%% |%s|\n", 100*f.None, bar(f.None, 40))
+	return b.String()
+}
+
+// RenderFigure2 renders adoption by program and year.
+func (d *Dataset) RenderFigure2() string {
+	f2 := d.Figure2()
+	var b strings.Builder
+	b.WriteString("Figure 2: AI/ML usage by program and year, percentage of projects\n")
+	progs := []Program{INCITE, ALCC, DD, ECP, COVID}
+	for _, prog := range progs {
+		years := make([]int, 0, len(f2[prog]))
+		for yr := range f2[prog] {
+			years = append(years, yr)
+		}
+		sort.Ints(years)
+		for _, yr := range years {
+			f := f2[prog][yr]
+			fmt.Fprintf(&b, "  %-7s %d  active %5.1f%%  inactive %5.1f%%  |%s|\n",
+				prog, yr, 100*f.Active, 100*f.Inactive, bar(f.Active+f.Inactive, 30))
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure3 renders the method mix.
+func (d *Dataset) RenderFigure3() string {
+	f3 := d.Figure3()
+	var b strings.Builder
+	b.WriteString("Figure 3: Usage by AI/ML method, percentage of AI-using projects\n")
+	for _, m := range []Method{DeepLearning, OtherNeuralNetwork, OtherML, MethodUndetermined} {
+		fmt.Fprintf(&b, "  %-12s %5.1f%% |%s|\n", m, 100*f3[m], bar(f3[m], 40))
+	}
+	return b.String()
+}
+
+// RenderFigure4 renders domain adoption counts.
+func (d *Dataset) RenderFigure4() string {
+	f4 := d.Figure4()
+	var b strings.Builder
+	b.WriteString("Figure 4: AI/ML usage by science domain, project counts\n")
+	for _, dom := range Domains() {
+		c := f4[dom]
+		total := c[Active] + c[Inactive] + c[None]
+		fmt.Fprintf(&b, "  %-18s active %3d  inactive %3d  none %3d  (total %3d)\n",
+			dom, c[Active], c[Inactive], c[None], total)
+	}
+	return b.String()
+}
+
+// RenderFigure5 renders the motif mix.
+func (d *Dataset) RenderFigure5() string {
+	f5 := d.Figure5()
+	var b strings.Builder
+	b.WriteString("Figure 5: AI/ML usage by AI motif, percentage of projects (INCITE+ALCC+ECP)\n")
+	type kv struct {
+		m Motif
+		v float64
+	}
+	var rows []kv
+	for _, m := range Motifs() {
+		rows = append(rows, kv{m, f5[m]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s %5.1f%% |%s|\n", r.m, 100*r.v, bar(r.v, 40))
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders the motif × domain matrix.
+func (d *Dataset) RenderFigure6() string {
+	f6 := d.Figure6()
+	var b strings.Builder
+	b.WriteString("Figure 6: AI motif vs. science domain, project counts (INCITE+ALCC+ECP)\n")
+	fmt.Fprintf(&b, "  %-18s", "")
+	for _, m := range Motifs() {
+		fmt.Fprintf(&b, " %4s", abbrevMotif(m))
+	}
+	b.WriteString("\n")
+	for _, dom := range Domains() {
+		fmt.Fprintf(&b, "  %-18s", dom)
+		for _, m := range Motifs() {
+			fmt.Fprintf(&b, " %4d", f6[dom][m])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func abbrevMotif(m Motif) string {
+	switch m {
+	case FaultDetection:
+		return "flt"
+	case MathCSAlgorithm:
+		return "mcs"
+	case Submodel:
+		return "sub"
+	case MDPotentials:
+		return "mdp"
+	case Steering:
+		return "str"
+	case SurrogateModel:
+		return "sur"
+	case Analysis:
+		return "ana"
+	case MLModsimLoop:
+		return "loop"
+	case Classification:
+		return "cls"
+	case Various:
+		return "var"
+	case MotifUndetermined:
+		return "und"
+	}
+	return "?"
+}
+
+// RenderTableI renders the motif taxonomy.
+func RenderTableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: Science application AI motifs\n")
+	for _, row := range TableI() {
+		fmt.Fprintf(&b, "  %-18s %s\n", row.Motif, row.Definition)
+		fmt.Fprintf(&b, "  %-18s e.g. %s\n", "", row.Example)
+	}
+	return b.String()
+}
+
+// RenderTableII renders the domain taxonomy.
+func RenderTableII() string {
+	var b strings.Builder
+	b.WriteString("Table II: Science domains and subdomains\n")
+	t2 := TableII()
+	for _, dom := range Domains() {
+		fmt.Fprintf(&b, "  %-18s %s\n", dom, strings.Join(t2[dom], ", "))
+	}
+	return b.String()
+}
+
+// RenderTableIII renders the Gordon Bell finalist counts.
+func RenderTableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III: Gordon Bell award finalist project counts\n")
+	b.WriteString("  year/category    Summit  Summit AI/ML\n")
+	for _, row := range TableIII() {
+		fmt.Fprintf(&b, "  %d %-10s %6d  %12d\n", row.Year, row.Category, row.Summit, row.SummitAI)
+	}
+	return b.String()
+}
+
+// RenderGordonBellReview lists the ten §IV-A AI/ML finalists.
+func RenderGordonBellReview() string {
+	var b strings.Builder
+	b.WriteString("AI/ML-powered Gordon Bell finalists on Summit (§IV-A)\n")
+	for _, r := range GordonBellRecords() {
+		if !r.UsesAIML {
+			continue
+		}
+		pf := ""
+		if r.PeakPFMixed > 0 {
+			pf = fmt.Sprintf(", %.1f PF mixed", r.PeakPFMixed)
+		}
+		fmt.Fprintf(&b, "  %d %-9s %-58s %-18s %5d nodes%s\n",
+			r.Year, r.Category, r.Name, "("+r.Motif.String()+")", r.MaxNodes, pf)
+	}
+	return b.String()
+}

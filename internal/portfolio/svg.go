@@ -1,0 +1,239 @@
+package portfolio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renderings of the paper's figures: self-contained vector charts
+// with no dependencies, suitable for embedding in reports. Each function
+// returns a complete <svg> document.
+
+const (
+	svgBarH    = 22
+	svgGap     = 6
+	svgLeft    = 190
+	svgBarMax  = 420
+	svgPad     = 30
+	svgFont    = "font-family='sans-serif' font-size='13'"
+	svgTitleFn = "font-family='sans-serif' font-size='15' font-weight='bold'"
+)
+
+// statusColor maps adoption status to chart colors.
+func statusColor(s Status) string {
+	switch s {
+	case Active:
+		return "#2e7d32"
+	case Inactive:
+		return "#f9a825"
+	default:
+		return "#b0bec5"
+	}
+}
+
+// barRow emits one labelled horizontal bar. frac in [0,1]; text shows the
+// formatted value.
+func barRow(b *strings.Builder, y int, label, color string, frac float64, text string) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	w := int(frac * svgBarMax)
+	fmt.Fprintf(b, "<text x='%d' y='%d' text-anchor='end' %s>%s</text>\n",
+		svgLeft-8, y+svgBarH-6, svgFont, xmlEscape(label))
+	fmt.Fprintf(b, "<rect x='%d' y='%d' width='%d' height='%d' fill='%s'/>\n",
+		svgLeft, y, w, svgBarH, color)
+	fmt.Fprintf(b, "<text x='%d' y='%d' %s>%s</text>\n",
+		svgLeft+w+6, y+svgBarH-6, svgFont, xmlEscape(text))
+}
+
+func svgDoc(title string, height int, body string) string {
+	var b strings.Builder
+	width := svgLeft + svgBarMax + 120
+	fmt.Fprintf(&b, "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d'>\n", width, height)
+	fmt.Fprintf(&b, "<rect x='0' y='0' width='%d' height='%d' fill='white'/>\n", width, height)
+	fmt.Fprintf(&b, "<text x='%d' y='20' %s>%s</text>\n", svgPad, svgTitleFn, xmlEscape(title))
+	b.WriteString(body)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "'", "&apos;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Figure1SVG renders the overall adoption chart.
+func (d *Dataset) Figure1SVG() string {
+	f := d.Figure1()
+	var b strings.Builder
+	y := svgPad + 10
+	rows := []struct {
+		label string
+		frac  float64
+		color string
+	}{
+		{"active", f.Active, statusColor(Active)},
+		{"inactive", f.Inactive, statusColor(Inactive)},
+		{"none", f.None, statusColor(None)},
+	}
+	for _, r := range rows {
+		barRow(&b, y, r.label, r.color, r.frac, fmt.Sprintf("%.1f%%", 100*r.frac))
+		y += svgBarH + svgGap
+	}
+	return svgDoc("Figure 1: Overall AI/ML usage", y+svgPad, b.String())
+}
+
+// Figure2SVG renders adoption by program-year as stacked active/inactive
+// bars.
+func (d *Dataset) Figure2SVG() string {
+	f2 := d.Figure2()
+	var b strings.Builder
+	y := svgPad + 10
+	for _, prog := range []Program{INCITE, ALCC, DD, ECP, COVID} {
+		years := sortedYears(f2[prog])
+		for _, yr := range years {
+			f := f2[prog][yr]
+			label := fmt.Sprintf("%s %d", prog, yr)
+			aw := int(f.Active * svgBarMax)
+			iw := int(f.Inactive * svgBarMax)
+			fmt.Fprintf(&b, "<text x='%d' y='%d' text-anchor='end' %s>%s</text>\n",
+				svgLeft-8, y+svgBarH-6, svgFont, xmlEscape(label))
+			fmt.Fprintf(&b, "<rect x='%d' y='%d' width='%d' height='%d' fill='%s'/>\n",
+				svgLeft, y, aw, svgBarH, statusColor(Active))
+			fmt.Fprintf(&b, "<rect x='%d' y='%d' width='%d' height='%d' fill='%s'/>\n",
+				svgLeft+aw, y, iw, svgBarH, statusColor(Inactive))
+			fmt.Fprintf(&b, "<text x='%d' y='%d' %s>%.0f%% + %.0f%%</text>\n",
+				svgLeft+aw+iw+6, y+svgBarH-6, svgFont, 100*f.Active, 100*f.Inactive)
+			y += svgBarH + svgGap
+		}
+	}
+	return svgDoc("Figure 2: AI/ML usage by program and year", y+svgPad, b.String())
+}
+
+func sortedYears(m map[int]Fractions) []int {
+	var years []int
+	for yr := range m {
+		years = append(years, yr)
+	}
+	for i := 1; i < len(years); i++ {
+		for j := i; j > 0 && years[j] < years[j-1]; j-- {
+			years[j], years[j-1] = years[j-1], years[j]
+		}
+	}
+	return years
+}
+
+// Figure3SVG renders the method mix.
+func (d *Dataset) Figure3SVG() string {
+	f3 := d.Figure3()
+	var b strings.Builder
+	y := svgPad + 10
+	for _, m := range []Method{DeepLearning, OtherNeuralNetwork, OtherML, MethodUndetermined} {
+		barRow(&b, y, m.String(), "#1565c0", f3[m], fmt.Sprintf("%.1f%%", 100*f3[m]))
+		y += svgBarH + svgGap
+	}
+	return svgDoc("Figure 3: Usage by AI/ML method", y+svgPad, b.String())
+}
+
+// Figure4SVG renders per-domain adoption as stacked counts.
+func (d *Dataset) Figure4SVG() string {
+	f4 := d.Figure4()
+	maxTotal := 0
+	for _, c := range f4 {
+		if t := c[Active] + c[Inactive] + c[None]; t > maxTotal {
+			maxTotal = t
+		}
+	}
+	var b strings.Builder
+	y := svgPad + 10
+	for _, dom := range Domains() {
+		c := f4[dom]
+		x := svgLeft
+		fmt.Fprintf(&b, "<text x='%d' y='%d' text-anchor='end' %s>%s</text>\n",
+			svgLeft-8, y+svgBarH-6, svgFont, xmlEscape(dom.String()))
+		for _, st := range []Status{Active, Inactive, None} {
+			w := c[st] * svgBarMax / maxTotal
+			fmt.Fprintf(&b, "<rect x='%d' y='%d' width='%d' height='%d' fill='%s'/>\n",
+				x, y, w, svgBarH, statusColor(st))
+			x += w
+		}
+		fmt.Fprintf(&b, "<text x='%d' y='%d' %s>%d</text>\n",
+			x+6, y+svgBarH-6, svgFont, c[Active]+c[Inactive]+c[None])
+		y += svgBarH + svgGap
+	}
+	return svgDoc("Figure 4: AI/ML usage by science domain (counts)", y+svgPad, b.String())
+}
+
+// Figure5SVG renders the motif mix.
+func (d *Dataset) Figure5SVG() string {
+	f5 := d.Figure5()
+	var b strings.Builder
+	y := svgPad + 10
+	for _, m := range Motifs() {
+		barRow(&b, y, m.String(), "#6a1b9a", f5[m], fmt.Sprintf("%.1f%%", 100*f5[m]))
+		y += svgBarH + svgGap
+	}
+	return svgDoc("Figure 5: AI/ML usage by AI motif (INCITE+ALCC+ECP)", y+svgPad, b.String())
+}
+
+// Figure6SVG renders the motif × domain matrix as a heatmap.
+func (d *Dataset) Figure6SVG() string {
+	f6 := d.Figure6()
+	maxCell := 1
+	for _, row := range f6 {
+		for _, c := range row {
+			if c > maxCell {
+				maxCell = c
+			}
+		}
+	}
+	cell := 34
+	var b strings.Builder
+	motifs := Motifs()
+	// Column headers (abbreviated motif names, rotated not supported —
+	// use the short codes).
+	for j, m := range motifs {
+		fmt.Fprintf(&b, "<text x='%d' y='%d' %s>%s</text>\n",
+			svgLeft+j*cell+4, svgPad+22, svgFont, xmlEscape(abbrevMotif(m)))
+	}
+	y := svgPad + 30
+	for _, dom := range Domains() {
+		fmt.Fprintf(&b, "<text x='%d' y='%d' text-anchor='end' %s>%s</text>\n",
+			svgLeft-8, y+cell-12, svgFont, xmlEscape(dom.String()))
+		for j, m := range motifs {
+			v := f6[dom][m]
+			// White -> deep purple scale.
+			alpha := float64(v) / float64(maxCell)
+			r := int(255 - alpha*(255-106))
+			g := int(255 - alpha*(255-27))
+			bl := int(255 - alpha*(255-154))
+			fmt.Fprintf(&b, "<rect x='%d' y='%d' width='%d' height='%d' fill='rgb(%d,%d,%d)' stroke='#ddd'/>\n",
+				svgLeft+j*cell, y, cell, cell, r, g, bl)
+			if v > 0 {
+				fill := "#333"
+				if alpha > 0.6 {
+					fill = "#fff"
+				}
+				fmt.Fprintf(&b, "<text x='%d' y='%d' text-anchor='middle' fill='%s' %s>%d</text>\n",
+					svgLeft+j*cell+cell/2, y+cell/2+5, fill, svgFont, v)
+			}
+		}
+		y += cell
+	}
+	return svgDoc("Figure 6: AI motif vs science domain", y+svgPad, b.String())
+}
+
+// AllFigureSVGs returns every figure keyed by filename stem.
+func (d *Dataset) AllFigureSVGs() map[string]string {
+	return map[string]string{
+		"figure1": d.Figure1SVG(),
+		"figure2": d.Figure2SVG(),
+		"figure3": d.Figure3SVG(),
+		"figure4": d.Figure4SVG(),
+		"figure5": d.Figure5SVG(),
+		"figure6": d.Figure6SVG(),
+	}
+}

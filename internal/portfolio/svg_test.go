@@ -1,0 +1,85 @@
+package portfolio
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAllFigureSVGsWellFormed(t *testing.T) {
+	d := study()
+	svgs := d.AllFigureSVGs()
+	if len(svgs) != 6 {
+		t.Fatalf("%d figures", len(svgs))
+	}
+	for name, svg := range svgs {
+		if !strings.HasPrefix(svg, "<svg") {
+			t.Errorf("%s does not start with <svg", name)
+		}
+		if !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s unterminated", name)
+		}
+		wellFormed(t, svg)
+	}
+}
+
+func TestFigure1SVGContent(t *testing.T) {
+	svg := study().Figure1SVG()
+	for _, frag := range []string{"active", "inactive", "none", "Figure 1"} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("figure 1 SVG missing %q", frag)
+		}
+	}
+	// Three data bars plus the background rect.
+	if got := strings.Count(svg, "<rect"); got != 4 {
+		t.Errorf("figure 1 has %d rects, want 4", got)
+	}
+}
+
+func TestFigure6SVGHeatmapCells(t *testing.T) {
+	svg := study().Figure6SVG()
+	// 9 domains × 11 motifs cells + background.
+	if got := strings.Count(svg, "<rect"); got != 9*11+1 {
+		t.Errorf("figure 6 has %d rects, want %d", got, 9*11+1)
+	}
+	if !strings.Contains(svg, "Engineering") || !strings.Contains(svg, "sub") {
+		t.Error("figure 6 missing labels")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c"'d'`); got != "a&lt;b&gt;&amp;&quot;c&quot;&apos;d&apos;" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestFigure4SVGStacks(t *testing.T) {
+	svg := study().Figure4SVG()
+	// 9 domains × 3 status segments + background.
+	if got := strings.Count(svg, "<rect"); got != 9*3+1 {
+		t.Errorf("figure 4 has %d rects, want %d", got, 9*3+1)
+	}
+	wellFormed(t, svg)
+}

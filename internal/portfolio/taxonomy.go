@@ -1,0 +1,205 @@
+// Package portfolio reconstructs the paper's project-portfolio study: the
+// AI-motif taxonomy (Table I), the science-domain taxonomy (Table II), a
+// deterministic synthetic reconstruction of the 662 project-years across
+// the OLCF allocation programs, the Gordon Bell finalist records
+// (Table III and §IV-A), and the analytics that regenerate Figures 1–6.
+//
+// The OLCF proposal archive is not public, so the dataset is synthetic:
+// its *marginals* are calibrated to every count and percentage the paper
+// reports, while individual project records are generated deterministically
+// from a seed. See DESIGN.md for the substitution rationale.
+package portfolio
+
+// Program is an OLCF allocation program.
+type Program int
+
+// Allocation programs considered by the study (§II-B, §II-C).
+const (
+	INCITE Program = iota
+	ALCC
+	DD
+	ECP
+	COVID // COVID-19 HPC Consortium projects not overlapping DD
+	GordonBell
+	numPrograms
+)
+
+var programNames = [...]string{"INCITE", "ALCC", "DD", "ECP", "COVID", "GordonBell"}
+
+func (p Program) String() string { return programNames[p] }
+
+// Status is a project's AI/ML adoption status (§II-C): Active means actual
+// usage in the project year; Inactive covers prior/planned/exploratory or
+// companion-project usage; None means no serious interest.
+type Status int
+
+// Adoption statuses.
+const (
+	None Status = iota
+	Inactive
+	Active
+	numStatuses
+)
+
+var statusNames = [...]string{"none", "inactive", "active"}
+
+func (s Status) String() string { return statusNames[s] }
+
+// Method is the AI/ML method family of Figure 3.
+type Method int
+
+// Method families.
+const (
+	MethodNone Method = iota
+	DeepLearning
+	OtherNeuralNetwork
+	OtherML // SVM, isolation forests, PCA, regressions, boosted trees, ...
+	MethodUndetermined
+	numMethods
+)
+
+var methodNames = [...]string{"none", "DL/DNN", "other NN", "other ML", "undetermined"}
+
+func (m Method) String() string { return methodNames[m] }
+
+// Motif is the science-application AI motif of Table I. MDPotentials is
+// the molecular-dynamics special case of Submodel, which the paper's
+// figures track separately.
+type Motif int
+
+// AI motifs (Table I).
+const (
+	MotifNone Motif = iota
+	FaultDetection
+	MathCSAlgorithm
+	Submodel
+	MDPotentials
+	Steering
+	SurrogateModel
+	Analysis
+	MLModsimLoop
+	Classification
+	Various
+	MotifUndetermined
+	numMotifs
+)
+
+var motifNames = [...]string{
+	"none", "fault detection", "math/cs algorithm", "submodel", "MD potentials",
+	"steering", "surrogate model", "analysis", "ML+modsim loop", "classification",
+	"various", "undetermined",
+}
+
+func (m Motif) String() string { return motifNames[m] }
+
+// MotifDefinition is one row of Table I.
+type MotifDefinition struct {
+	Motif      Motif
+	Definition string
+	Example    string
+}
+
+// TableI returns the AI-motif taxonomy exactly as the paper defines it.
+func TableI() []MotifDefinition {
+	return []MotifDefinition{
+		{FaultDetection,
+			"detect algorithmic or other failure in execution, send signal for automatic or manual remediation",
+			"detect simulation defect caused by execution error"},
+		{MathCSAlgorithm,
+			"ML is used to enhance some mathematical (non-science-proper) computation",
+			"solver's linear system dimension is reduced based on machine-learned parameter"},
+		{Submodel,
+			"a (proper) subset of a science computation is replaced by an ML model; molecular dynamics (MD) potentials as special case",
+			"physics-based radiation model in a climate code replaced by ML model"},
+		{Steering,
+			"automatic steering of the direction of a computation for some internal process",
+			"ML method to guide Monte Carlo sampling to include undersampled regions"},
+		{SurrogateModel,
+			"full science model replaced by ML approximation that captures important aspects, used for speed or science understanding",
+			"data from tokamak simulation runs used to train surrogate model"},
+		{Analysis,
+			"results from modeling and simulation (modsim) runs are analyzed by a human using ML methods",
+			"use graph neural networks to analyze results of MD simulation"},
+		{MLModsimLoop,
+			"both ML and traditional modsim, coupled",
+			"MD in loop used to refine deep learning model via active learning"},
+		{Classification,
+			"\"pure\" ML with little or no modsim used to classify some phenomenon; includes some other methods like reinforcement learning",
+			"deep neural network inference to detect rare astrophysical event"},
+		{Various,
+			"umbrella project with multiple unrelated subprojects using possibly different kinds of AI/ML",
+			"CAAR/ESP/NESAP application readiness"},
+		{MotifUndetermined,
+			"manner of AI/ML use is undetermined",
+			"project is exploring AI/ML use but gives no details"},
+	}
+}
+
+// Domain is a science domain (Table II).
+type Domain int
+
+// Science domains.
+const (
+	Biology Domain = iota
+	Chemistry
+	ComputerScience
+	EarthScience
+	Engineering
+	FusionPlasma
+	Materials
+	NuclearEnergy
+	Physics
+	numDomains
+)
+
+var domainNames = [...]string{
+	"Biology", "Chemistry", "Computer Science", "Earth Science", "Engineering",
+	"Fusion and Plasma", "Materials", "Nuclear Energy", "Physics",
+}
+
+func (d Domain) String() string { return domainNames[d] }
+
+// Domains lists all science domains in Table II order.
+func Domains() []Domain {
+	out := make([]Domain, numDomains)
+	for i := range out {
+		out[i] = Domain(i)
+	}
+	return out
+}
+
+// Motifs lists all motifs in Table I order (excluding MotifNone).
+func Motifs() []Motif {
+	return []Motif{FaultDetection, MathCSAlgorithm, Submodel, MDPotentials,
+		Steering, SurrogateModel, Analysis, MLModsimLoop, Classification,
+		Various, MotifUndetermined}
+}
+
+// TableII returns the domain → subdomain map exactly as the paper's
+// Table II lists it.
+func TableII() map[Domain][]string {
+	return map[Domain][]string{
+		Biology: {"Bioinformatics", "Biophysics", "Life Sciences", "Medical Science",
+			"Neuroscience", "Proteomics", "Systems Biology"},
+		Chemistry:       {"Chemistry", "Physical Chemistry"},
+		ComputerScience: {"Computer Science", "Machine Learning"},
+		EarthScience:    {"Atmospheric Science", "Climate", "Geosciences", "Geographic Information Systems"},
+		Engineering:     {"Aerodynamics", "Bioenergy", "Combustion", "Engineering", "Fluid Dynamics", "Turbulence"},
+		FusionPlasma:    {"Fusion Energy", "Plasma Physics"},
+		Materials:       {"Materials Science", "Nanoelectronics", "Nanomechanics", "Nanophotonics", "Nanoscience"},
+		NuclearEnergy:   {"Nuclear Fission", "Nuclear Fuel Cycle"},
+		Physics: {"Accelerator Physics", "Astrophysics", "Cosmology", "Atomic/Molecular Physics",
+			"Condensed Matter Physics", "High Energy Physics", "Lattice Gauge Theory",
+			"Nuclear Physics", "Physics", "Solar/Space Physics"},
+	}
+}
+
+// SubdomainCount returns the total number of 3-letter science subdomain
+// codes; the paper says 48.
+func SubdomainCount() int {
+	n := 0
+	for _, subs := range TableII() {
+		n += len(subs)
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+// Package sched simulates Summit's batch scheduling of allocation-program
+// workloads (§II-B): jobs from INCITE, ALCC and DD compete for the
+// machine's 4608 nodes under FIFO-with-backfill scheduling, capability
+// priority (bigger jobs first, as leadership-class policy prefers), and
+// per-program share accounting. It supplies the machine-utilization
+// context in which the paper's AI training jobs ran.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"summitscale/internal/stats"
+)
+
+// Job is one batch job.
+type Job struct {
+	ID       int
+	Program  string
+	Nodes    int
+	Walltime float64 // requested, seconds
+	Submit   float64 // submission time
+
+	// Scheduling results.
+	Start float64
+	End   float64
+}
+
+// NodeHours returns the job's node-seconds / 3600.
+func (j Job) NodeHours() float64 { return float64(j.Nodes) * j.Walltime / 3600 }
+
+// Wait returns the queue wait.
+func (j Job) Wait() float64 { return j.Start - j.Submit }
+
+// Scheduler is an event-free list scheduler over a fixed node pool: FIFO
+// by submission with conservative backfill (a later job may start early
+// only if it cannot delay any earlier job's reserved start).
+type Scheduler struct {
+	TotalNodes int
+	// CapabilityBoost sorts equal-submit-time jobs larger-first, the
+	// leadership-computing queue policy.
+	CapabilityBoost bool
+}
+
+// NewScheduler creates a scheduler for a machine of the given size.
+func NewScheduler(totalNodes int) *Scheduler {
+	if totalNodes <= 0 {
+		panic("sched: non-positive machine size")
+	}
+	return &Scheduler{TotalNodes: totalNodes, CapabilityBoost: true}
+}
+
+// freeSlot describes an interval with constant free node count.
+type freeSlot struct {
+	from  float64
+	nodes int
+}
+
+// Schedule assigns Start/End to every job and returns them sorted by
+// start time. The algorithm processes jobs in queue order, placing each
+// at the earliest time enough nodes are free given already-placed jobs;
+// because placement is earliest-fit against the full timeline, this is
+// conservative backfill.
+func (s *Scheduler) Schedule(jobs []Job) []Job {
+	queue := append([]Job(nil), jobs...)
+	sort.SliceStable(queue, func(i, j int) bool {
+		if queue[i].Submit != queue[j].Submit {
+			return queue[i].Submit < queue[j].Submit
+		}
+		if s.CapabilityBoost && queue[i].Nodes != queue[j].Nodes {
+			return queue[i].Nodes > queue[j].Nodes
+		}
+		return queue[i].ID < queue[j].ID
+	})
+
+	var placed []Job
+	for _, j := range queue {
+		if j.Nodes > s.TotalNodes {
+			panic(fmt.Sprintf("sched: job %d wants %d of %d nodes", j.ID, j.Nodes, s.TotalNodes))
+		}
+		j.Start = s.earliestStart(placed, j)
+		j.End = j.Start + j.Walltime
+		placed = append(placed, j)
+	}
+	sort.SliceStable(placed, func(i, j int) bool { return placed[i].Start < placed[j].Start })
+	return placed
+}
+
+// earliestStart finds the first time >= j.Submit at which j.Nodes nodes
+// are continuously free for j.Walltime.
+func (s *Scheduler) earliestStart(placed []Job, j Job) float64 {
+	// Candidate start times: submission, and each placed job's end.
+	candidates := []float64{j.Submit}
+	for _, p := range placed {
+		if p.End > j.Submit {
+			candidates = append(candidates, p.End)
+		}
+	}
+	sort.Float64s(candidates)
+	for _, t := range candidates {
+		if s.fits(placed, t, j) {
+			return t
+		}
+	}
+	// Unreachable: the last candidate (all jobs done) always fits.
+	panic("sched: no feasible start")
+}
+
+func (s *Scheduler) fits(placed []Job, t float64, j Job) bool {
+	// Check node availability at every event point in [t, t+Walltime).
+	points := []float64{t}
+	for _, p := range placed {
+		if p.Start > t && p.Start < t+j.Walltime {
+			points = append(points, p.Start)
+		}
+	}
+	for _, pt := range points {
+		used := 0
+		for _, p := range placed {
+			if p.Start <= pt && pt < p.End {
+				used += p.Nodes
+			}
+		}
+		if used+j.Nodes > s.TotalNodes {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes a schedule.
+type Stats struct {
+	Makespan     float64
+	Utilization  float64 // node-time used / (TotalNodes * makespan)
+	MeanWait     float64
+	MaxWait      float64
+	HoursByGroup map[string]float64 // node-hours per program
+}
+
+// Summarize computes schedule statistics.
+func (s *Scheduler) Summarize(placed []Job) Stats {
+	st := Stats{HoursByGroup: map[string]float64{}}
+	if len(placed) == 0 {
+		return st
+	}
+	var usedNodeTime, waitSum float64
+	for _, j := range placed {
+		if j.End > st.Makespan {
+			st.Makespan = j.End
+		}
+		usedNodeTime += float64(j.Nodes) * j.Walltime
+		w := j.Wait()
+		waitSum += w
+		if w > st.MaxWait {
+			st.MaxWait = w
+		}
+		st.HoursByGroup[j.Program] += j.NodeHours()
+	}
+	st.MeanWait = waitSum / float64(len(placed))
+	if st.Makespan > 0 {
+		st.Utilization = usedNodeTime / (float64(s.TotalNodes) * st.Makespan)
+	}
+	return st
+}
+
+// ProgramShare describes an allocation program's target fraction and job
+// profile for workload synthesis.
+type ProgramShare struct {
+	Name string
+	// Share of total node-hours (INCITE ~0.6, ALCC ~0.2, DD ~0.2).
+	Share float64
+	// Node-count distribution: log-uniform between MinNodes and MaxNodes.
+	MinNodes, MaxNodes int
+	// MeanWalltime of exponentially distributed walltimes (seconds).
+	MeanWalltime float64
+}
+
+// OLCFShares returns the paper's §II-B allocation split with
+// leadership-scale INCITE jobs, mid-scale ALCC, and small DD jobs.
+func OLCFShares() []ProgramShare {
+	return []ProgramShare{
+		{Name: "INCITE", Share: 0.60, MinNodes: 256, MaxNodes: 4608, MeanWalltime: 6 * 3600},
+		{Name: "ALCC", Share: 0.20, MinNodes: 64, MaxNodes: 1024, MeanWalltime: 4 * 3600},
+		{Name: "DD", Share: 0.20, MinNodes: 1, MaxNodes: 256, MeanWalltime: 2 * 3600},
+	}
+}
+
+// SynthesizeWorkload draws jobs matching the program shares over a
+// submission horizon, stopping when each program's node-hour budget
+// (share × totalNodeHours) is filled.
+func SynthesizeWorkload(rng *stats.RNG, shares []ProgramShare, totalNodeHours, horizon float64) []Job {
+	var jobs []Job
+	id := 0
+	for _, ps := range shares {
+		budget := ps.Share * totalNodeHours
+		var used float64
+		for used < budget {
+			nodes := logUniformInt(rng, ps.MinNodes, ps.MaxNodes)
+			wall := rng.ExpFloat64() * ps.MeanWalltime
+			if wall < 600 {
+				wall = 600
+			}
+			j := Job{
+				ID: id, Program: ps.Name, Nodes: nodes, Walltime: wall,
+				Submit: rng.Float64() * horizon,
+			}
+			id++
+			used += j.NodeHours()
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// logUniformInt draws log-uniformly in [lo, hi].
+func logUniformInt(rng *stats.RNG, lo, hi int) int {
+	if lo >= hi {
+		return lo
+	}
+	bits := 0
+	for v := hi / lo; v > 0; v >>= 1 {
+		bits++
+	}
+	n := lo << rng.Intn(bits)
+	if n > hi {
+		n = hi
+	}
+	return n
+}

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"summitscale/internal/stats"
+)
+
+func TestSingleJobStartsAtSubmit(t *testing.T) {
+	s := NewScheduler(100)
+	placed := s.Schedule([]Job{{ID: 1, Nodes: 50, Walltime: 10, Submit: 5}})
+	if placed[0].Start != 5 || placed[0].End != 15 {
+		t.Fatalf("job placed [%v, %v]", placed[0].Start, placed[0].End)
+	}
+}
+
+func TestSerializationWhenFull(t *testing.T) {
+	s := NewScheduler(100)
+	placed := s.Schedule([]Job{
+		{ID: 1, Nodes: 100, Walltime: 10, Submit: 0},
+		{ID: 2, Nodes: 100, Walltime: 10, Submit: 0},
+	})
+	if placed[0].Start != 0 || placed[1].Start != 10 {
+		t.Fatalf("starts: %v, %v", placed[0].Start, placed[1].Start)
+	}
+}
+
+func TestParallelWhenRoom(t *testing.T) {
+	s := NewScheduler(100)
+	placed := s.Schedule([]Job{
+		{ID: 1, Nodes: 40, Walltime: 10, Submit: 0},
+		{ID: 2, Nodes: 40, Walltime: 10, Submit: 0},
+	})
+	if placed[0].Start != 0 || placed[1].Start != 0 {
+		t.Fatalf("jobs did not co-schedule: %v, %v", placed[0].Start, placed[1].Start)
+	}
+}
+
+func TestBackfillSmallJob(t *testing.T) {
+	s := NewScheduler(100)
+	// Big job running until t=100; a second big job must wait; a small
+	// short job submitted later can backfill into the idle 40 nodes.
+	placed := s.Schedule([]Job{
+		{ID: 1, Nodes: 60, Walltime: 100, Submit: 0},
+		{ID: 2, Nodes: 100, Walltime: 50, Submit: 1},
+		{ID: 3, Nodes: 30, Walltime: 20, Submit: 2},
+	})
+	byID := map[int]Job{}
+	for _, j := range placed {
+		byID[j.ID] = j
+	}
+	if byID[2].Start != 100 {
+		t.Fatalf("full-machine job starts at %v", byID[2].Start)
+	}
+	if byID[3].Start != 2 {
+		t.Fatalf("backfill job starts at %v, want 2", byID[3].Start)
+	}
+}
+
+func TestCapabilityBoostOrdersBigFirst(t *testing.T) {
+	s := NewScheduler(100)
+	// Same submit time, combined demand exceeds the machine: the big job
+	// must win the tie.
+	placed := s.Schedule([]Job{
+		{ID: 1, Nodes: 30, Walltime: 10, Submit: 0},
+		{ID: 2, Nodes: 90, Walltime: 10, Submit: 0},
+	})
+	byID := map[int]Job{}
+	for _, j := range placed {
+		byID[j.ID] = j
+	}
+	if byID[2].Start != 0 {
+		t.Fatalf("capability job delayed to %v", byID[2].Start)
+	}
+	if byID[1].Start != 10 {
+		t.Fatalf("small job starts at %v", byID[1].Start)
+	}
+}
+
+func TestOversizedJobPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewScheduler(10).Schedule([]Job{{Nodes: 11, Walltime: 1}})
+}
+
+// TestNeverOversubscribed is the core safety property: at every event
+// point, running jobs fit in the machine — for arbitrary workloads.
+func TestNeverOversubscribed(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		rng := stats.NewRNG(uint64(seed))
+		s := NewScheduler(64)
+		n := rng.Intn(30) + 2
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{
+				ID:       i,
+				Nodes:    rng.Intn(64) + 1,
+				Walltime: float64(rng.Intn(100) + 1),
+				Submit:   float64(rng.Intn(50)),
+			}
+		}
+		placed := s.Schedule(jobs)
+		for _, probe := range placed {
+			for _, at := range []float64{probe.Start, probe.End - 0.001} {
+				used := 0
+				for _, j := range placed {
+					if j.Start <= at && at < j.End {
+						used += j.Nodes
+					}
+				}
+				if used > 64 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoJobStartsBeforeSubmit(t *testing.T) {
+	rng := stats.NewRNG(9)
+	s := NewScheduler(32)
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Nodes: rng.Intn(32) + 1,
+			Walltime: float64(rng.Intn(50) + 1), Submit: float64(rng.Intn(100))}
+	}
+	for _, j := range s.Schedule(jobs) {
+		if j.Start < j.Submit {
+			t.Fatalf("job %d starts %v before submit %v", j.ID, j.Start, j.Submit)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := NewScheduler(100)
+	placed := s.Schedule([]Job{
+		{ID: 1, Program: "INCITE", Nodes: 100, Walltime: 10, Submit: 0},
+		{ID: 2, Program: "DD", Nodes: 100, Walltime: 10, Submit: 0},
+	})
+	st := s.Summarize(placed)
+	if st.Makespan != 20 {
+		t.Errorf("makespan = %v", st.Makespan)
+	}
+	if math.Abs(st.Utilization-1) > 1e-9 {
+		t.Errorf("utilization = %v", st.Utilization)
+	}
+	if st.MeanWait != 5 || st.MaxWait != 10 {
+		t.Errorf("waits: mean %v max %v", st.MeanWait, st.MaxWait)
+	}
+	if math.Abs(st.HoursByGroup["INCITE"]-1000.0/3600*1000) > 1e9 {
+		// node-hours = 100 nodes * 10 s / 3600.
+		want := 100 * 10.0 / 3600
+		if math.Abs(st.HoursByGroup["INCITE"]-want) > 1e-9 {
+			t.Errorf("INCITE hours = %v, want %v", st.HoursByGroup["INCITE"], want)
+		}
+	}
+}
+
+// TestOLCFSharesRealized: synthesized workloads hit the paper's ~60/20/20
+// allocation split within tolerance.
+func TestOLCFSharesRealized(t *testing.T) {
+	rng := stats.NewRNG(4)
+	jobs := SynthesizeWorkload(rng, OLCFShares(), 500_000, 7*24*3600)
+	var total float64
+	hours := map[string]float64{}
+	for _, j := range jobs {
+		hours[j.Program] += j.NodeHours()
+		total += j.NodeHours()
+	}
+	for _, ps := range OLCFShares() {
+		frac := hours[ps.Name] / total
+		if math.Abs(frac-ps.Share) > 0.08 {
+			t.Errorf("%s share = %v, want ~%v", ps.Name, frac, ps.Share)
+		}
+	}
+	// Job-size ordering: INCITE jobs are much bigger than DD jobs.
+	var inciteMean, ddMean float64
+	var nI, nD int
+	for _, j := range jobs {
+		switch j.Program {
+		case "INCITE":
+			inciteMean += float64(j.Nodes)
+			nI++
+		case "DD":
+			ddMean += float64(j.Nodes)
+			nD++
+		}
+	}
+	if inciteMean/float64(nI) < 4*ddMean/float64(nD) {
+		t.Errorf("INCITE jobs (%v avg nodes) not capability-scale vs DD (%v)",
+			inciteMean/float64(nI), ddMean/float64(nD))
+	}
+}
+
+func TestScheduleSynthesizedWorkload(t *testing.T) {
+	rng := stats.NewRNG(5)
+	jobs := SynthesizeWorkload(rng, OLCFShares(), 60_000, 24*3600)
+	s := NewScheduler(4608)
+	placed := s.Schedule(jobs)
+	st := s.Summarize(placed)
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("utilization = %v", st.Utilization)
+	}
+	if len(placed) != len(jobs) {
+		t.Fatalf("lost jobs: %d of %d", len(placed), len(jobs))
+	}
+}
+
+func TestLogUniformIntBounds(t *testing.T) {
+	rng := stats.NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		v := logUniformInt(rng, 64, 4608)
+		if v < 64 || v > 4608 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	if logUniformInt(rng, 7, 7) != 7 {
+		t.Fatal("degenerate range")
+	}
+}

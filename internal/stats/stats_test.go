@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s := r.Split()
+	// The split stream must not merely replay the parent.
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == s.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("split stream tracks parent: %d collisions", equal)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var s float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	if m := s / n; math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", m)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	if m := Mean(xs); math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-1) > 0.02 {
+		t.Errorf("normal sd = %v", sd)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var s float64
+	for i := 0; i < n; i++ {
+		s += r.ExpFloat64()
+	}
+	if m := s / n; math.Abs(m-1) > 0.02 {
+		t.Fatalf("exponential mean = %v", m)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := NewRNG(21)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	frac := float64(counts[2]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("category 2 frequency = %v, want ~0.75", frac)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-sum weights did not panic")
+		}
+	}()
+	NewRNG(1).Categorical([]float64{0, 0})
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v", v)
+	}
+	if sd := StdDev(xs); sd != 2 {
+		t.Errorf("StdDev = %v", sd)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1.5}
+	if Min(xs) != -1 || Max(xs) != 4 {
+		t.Errorf("Min/Max wrong")
+	}
+	if s := Sum(xs); math.Abs(s-7.5) > 1e-12 {
+		t.Errorf("Sum = %v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{10}, 50); got != 10 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f := FitLine(x, y)
+	if math.Abs(f.Intercept-1) > 1e-12 || math.Abs(f.Slope-2) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := NewRNG(31)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := float64(i) / 10
+		x = append(x, xi)
+		y = append(y, 4+0.5*xi+r.NormFloat64()*0.1)
+	}
+	f := FitLine(x, y)
+	if math.Abs(f.Slope-0.5) > 0.01 || math.Abs(f.Intercept-4) > 0.05 {
+		t.Fatalf("noisy fit = %+v", f)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Mode() != 0 {
+		t.Fatalf("mode = %d", h.Mode())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+}
+
+func TestQuickPercentileWithinBounds(t *testing.T) {
+	r := NewRNG(77)
+	if err := quick.Check(func(seed uint32) bool {
+		rr := NewRNG(uint64(seed))
+		n := rr.Intn(40) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.NormFloat64()
+		}
+		p := rr.Float64() * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs)-1e-12 && v <= Max(xs)+1e-12
+	}, &quick.Config{MaxCount: 200, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}

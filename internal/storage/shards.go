@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Shard file format (the on-disk record container the staging model's
+// byte counts correspond to):
+//
+//	[8]  magic "SUMSHARD"
+//	...  records, each: [4] length, [4] crc32(payload), payload
+//	...  index: [8] offset per record (into the file)
+//	[8]  record count
+//	[8]  index offset
+//
+// Readers seek to the footer, load the index, then random-access records —
+// the iterative-random-access pattern of §VI-B's training input.
+
+var shardMagic = [8]byte{'S', 'U', 'M', 'S', 'H', 'A', 'R', 'D'}
+
+// ShardWriter writes a shard file.
+type ShardWriter struct {
+	f       *os.File
+	offsets []int64
+	pos     int64
+	closed  bool
+}
+
+// CreateShard opens a new shard file for writing.
+func CreateShard(path string) (*ShardWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create shard: %w", err)
+	}
+	if _, err := f.Write(shardMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ShardWriter{f: f, pos: int64(len(shardMagic))}, nil
+}
+
+// Append writes one record.
+func (w *ShardWriter) Append(payload []byte) error {
+	if w.closed {
+		return fmt.Errorf("storage: append to closed shard")
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	w.offsets = append(w.offsets, w.pos)
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	w.pos += int64(len(hdr) + len(payload))
+	return nil
+}
+
+// Count returns the records appended so far.
+func (w *ShardWriter) Count() int { return len(w.offsets) }
+
+// Close writes the index and footer and closes the file.
+func (w *ShardWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	indexOff := w.pos
+	buf := make([]byte, 8)
+	for _, off := range w.offsets {
+		binary.LittleEndian.PutUint64(buf, uint64(off))
+		if _, err := w.f.Write(buf); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(len(w.offsets)))
+	if _, err := w.f.Write(buf); err != nil {
+		w.f.Close()
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(indexOff))
+	if _, err := w.f.Write(buf); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ShardReader random-accesses a shard file.
+type ShardReader struct {
+	f       *os.File
+	offsets []int64
+	size    int64
+}
+
+// OpenShard opens a shard for reading and loads its index.
+func OpenShard(path string) (*ShardReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open shard: %w", err)
+	}
+	r := &ShardReader{f: f}
+	if err := r.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *ShardReader) load() error {
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	r.size = st.Size()
+	if r.size < int64(len(shardMagic))+16 {
+		return fmt.Errorf("storage: shard too small (%d bytes)", r.size)
+	}
+	var magic [8]byte
+	if _, err := r.f.ReadAt(magic[:], 0); err != nil {
+		return err
+	}
+	if magic != shardMagic {
+		return fmt.Errorf("storage: bad shard magic %q", magic)
+	}
+	var footer [16]byte
+	if _, err := r.f.ReadAt(footer[:], r.size-16); err != nil {
+		return err
+	}
+	count := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	indexOff := int64(binary.LittleEndian.Uint64(footer[8:16]))
+	if count < 0 || indexOff < int64(len(shardMagic)) || indexOff+count*8+16 != r.size {
+		return fmt.Errorf("storage: corrupt shard footer (count=%d index=%d size=%d)",
+			count, indexOff, r.size)
+	}
+	idx := make([]byte, count*8)
+	if _, err := r.f.ReadAt(idx, indexOff); err != nil {
+		return err
+	}
+	r.offsets = make([]int64, count)
+	for i := range r.offsets {
+		r.offsets[i] = int64(binary.LittleEndian.Uint64(idx[i*8 : i*8+8]))
+	}
+	return nil
+}
+
+// Count returns the record count.
+func (r *ShardReader) Count() int { return len(r.offsets) }
+
+// Record reads record i, verifying its checksum.
+func (r *ShardReader) Record(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.offsets) {
+		return nil, fmt.Errorf("storage: record %d of %d", i, len(r.offsets))
+	}
+	var hdr [8]byte
+	if _, err := r.f.ReadAt(hdr[:], r.offsets[i]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(io.NewSectionReader(r.f, r.offsets[i]+8, int64(length)), payload); err != nil {
+		return nil, err
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return nil, fmt.Errorf("storage: record %d checksum mismatch", i)
+	}
+	return payload, nil
+}
+
+// Close releases the file.
+func (r *ShardReader) Close() error { return r.f.Close() }
+
+// EncodeFloats packs a float64 slice into a record payload.
+func EncodeFloats(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloats unpacks a payload written by EncodeFloats.
+func DecodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("storage: float payload length %d", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}

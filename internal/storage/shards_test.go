@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"summitscale/internal/stats"
+)
+
+func writeShard(t *testing.T, records [][]byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.shard")
+	w, err := CreateShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	records := [][]byte{
+		[]byte("hello"),
+		{},
+		[]byte("a longer record with more bytes in it"),
+		{0, 1, 2, 255},
+	}
+	path := writeShard(t, records)
+	r, err := OpenShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != len(records) {
+		t.Fatalf("count = %d", r.Count())
+	}
+	// Random access, out of order.
+	for _, i := range []int{3, 0, 2, 1} {
+		got, err := r.Record(i)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if string(got) != string(records[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got, records[i])
+		}
+	}
+}
+
+func TestShardEmpty(t *testing.T) {
+	path := writeShard(t, nil)
+	r, err := OpenShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 0 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if _, err := r.Record(0); err == nil {
+		t.Fatal("read from empty shard succeeded")
+	}
+}
+
+func TestShardRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("this is not a shard file at all......"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestShardDetectsCorruption(t *testing.T) {
+	path := writeShard(t, [][]byte{[]byte("important scientific data")})
+	// Flip a payload byte.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[20] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Record(0); err == nil {
+		t.Fatal("corrupted record read without error")
+	}
+}
+
+func TestShardTruncatedFooter(t *testing.T) {
+	path := writeShard(t, [][]byte{[]byte("x")})
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(path); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s")
+	w, err := CreateShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("late")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestEncodeDecodeFloats(t *testing.T) {
+	rng := stats.NewRNG(1)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	got, err := DecodeFloats(EncodeFloats(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("float %d: %v != %v", i, got[i], xs[i])
+		}
+	}
+	if _, err := DecodeFloats(make([]byte, 7)); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}
+
+// TestShardAsTrainingInput exercises the full staged-input path: waveform
+// samples encoded into a shard, then read back in shuffled epoch order —
+// the node-local NVMe pipeline in miniature.
+func TestShardAsTrainingInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "waveforms.shard")
+	w, err := CreateShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, dim = 32, 16
+	rng := stats.NewRNG(2)
+	originals := make([][]float64, n)
+	for i := range originals {
+		originals[i] = make([]float64, dim)
+		for j := range originals[i] {
+			originals[i][j] = rng.NormFloat64()
+		}
+		if err := w.Append(EncodeFloats(originals[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	order := stats.NewRNG(3).Perm(n)
+	for _, i := range order {
+		payload, err := r.Record(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err := DecodeFloats(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range xs {
+			if xs[j] != originals[i][j] {
+				t.Fatalf("sample %d element %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkShardRandomRead(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.shard")
+	w, err := CreateShard(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	for i := 0; i < 256; i++ {
+		if err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenShard(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Record(i % 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

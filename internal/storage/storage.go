@@ -1,0 +1,171 @@
+// Package storage models Summit's two training-input paths — the shared
+// GPFS file system (2.5 TB/s aggregate read) and the node-local NVMe burst
+// buffers (~6 GB/s per node, >27 TB/s aggregate) — together with the data
+// staging, partitioning, and per-epoch shuffling costs the paper's §VI-B
+// I/O discussion weighs.
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"summitscale/internal/machine"
+	"summitscale/internal/units"
+)
+
+// Store models a place training data can be read from.
+type Store interface {
+	// ReadBW returns the aggregate read bandwidth available to a job
+	// running on the given number of nodes.
+	ReadBW(nodes int) units.BytesPerSecond
+	Name() string
+}
+
+// GPFS is a center-wide shared parallel file system: aggregate bandwidth
+// is fixed and shared, with an optional per-node ceiling from the client
+// network path.
+type GPFS struct {
+	FS machine.SharedFS
+	// PerNodeCap bounds one node's share (client-side limit); zero means
+	// uncapped.
+	PerNodeCap units.BytesPerSecond
+}
+
+// NewGPFS models Summit's Alpine file system. The per-node cap is the
+// node's injection bandwidth.
+func NewGPFS() *GPFS {
+	return &GPFS{FS: machine.Alpine(), PerNodeCap: machine.SummitNode().InjectionBW}
+}
+
+// Name implements Store.
+func (g *GPFS) Name() string { return g.FS.Name }
+
+// ReadBW implements Store: the job gets at most the aggregate bandwidth,
+// and at most nodes × per-node cap.
+func (g *GPFS) ReadBW(nodes int) units.BytesPerSecond {
+	bw := g.FS.ReadBW
+	if g.PerNodeCap > 0 {
+		if cap := g.PerNodeCap * units.BytesPerSecond(nodes); cap < bw {
+			bw = cap
+		}
+	}
+	return bw
+}
+
+// NVMe is the node-local burst buffer: bandwidth scales linearly with
+// nodes, but capacity is per node and data must be staged in first.
+type NVMe struct {
+	Node machine.Node
+}
+
+// NewNVMe models Summit's node-local drives.
+func NewNVMe() *NVMe { return &NVMe{Node: machine.SummitNode()} }
+
+// Name implements Store.
+func (n *NVMe) Name() string { return "node-local NVMe" }
+
+// ReadBW implements Store.
+func (n *NVMe) ReadBW(nodes int) units.BytesPerSecond {
+	return n.Node.NVMeReadBW * units.BytesPerSecond(nodes)
+}
+
+// CapacityPerNode returns the burst buffer size of one node.
+func (n *NVMe) CapacityPerNode() units.Bytes { return n.Node.NVMe }
+
+// StagingPlan describes how a dataset is placed on node-local storage.
+type StagingPlan int
+
+// Staging strategies.
+const (
+	// ReplicateDataset copies the full dataset to every node. Only
+	// possible when it fits one node's NVMe; shuffling is then free.
+	ReplicateDataset StagingPlan = iota
+	// PartitionDataset shards the dataset across nodes (1/nodes each).
+	// Global per-epoch shuffling then requires redistributing samples.
+	PartitionDataset
+)
+
+// Stager computes staging and epoch costs for NVMe-based input pipelines.
+type Stager struct {
+	NVMe *NVMe
+	GPFS *GPFS
+	// Fabric bandwidth per node for the shuffle exchange.
+	ShuffleBW units.BytesPerSecond
+}
+
+// NewStager builds the Summit stager.
+func NewStager() *Stager {
+	return &Stager{NVMe: NewNVMe(), GPFS: NewGPFS(), ShuffleBW: machine.SummitNode().InjectionBW}
+}
+
+// PlanFor returns the staging plan that fits: replication when the
+// dataset fits one node's NVMe (with 10% headroom), else partitioning; an
+// error when even the partition does not fit.
+func (s *Stager) PlanFor(dataset units.Bytes, nodes int) (StagingPlan, error) {
+	capacity := float64(s.NVMe.CapacityPerNode()) * 0.9
+	if float64(dataset) <= capacity {
+		return ReplicateDataset, nil
+	}
+	if float64(dataset)/float64(nodes) <= capacity {
+		return PartitionDataset, nil
+	}
+	return 0, fmt.Errorf("storage: dataset %v exceeds NVMe capacity of %d nodes", dataset, nodes)
+}
+
+// StagingTime returns the time to stage the dataset from GPFS onto the
+// node-local drives under the given plan. Replication reads the dataset
+// once from GPFS and broadcasts over the fabric (pipelined, so the GPFS
+// read dominates once nodes are many); partitioning reads 1/nodes per
+// node. Staging repeats at every job start — the "costs adding up" of
+// §VI-B (hundreds of TB at the start of each hyperparameter-search job).
+func (s *Stager) StagingTime(dataset units.Bytes, nodes int, plan StagingPlan) units.Seconds {
+	gpfsBW := s.GPFS.ReadBW(nodes)
+	switch plan {
+	case ReplicateDataset:
+		// One copy from GPFS, then a pipelined fabric broadcast; the write
+		// bandwidth of the local drive bounds the landing rate.
+		read := float64(dataset) / float64(gpfsBW)
+		land := float64(dataset) / float64(s.NVMe.Node.NVMeWriteBW)
+		return units.Seconds(math.Max(read, land))
+	case PartitionDataset:
+		perNode := float64(dataset) / float64(nodes)
+		read := float64(dataset) / float64(gpfsBW)
+		land := perNode / float64(s.NVMe.Node.NVMeWriteBW)
+		return units.Seconds(math.Max(read, land))
+	default:
+		panic("storage: unknown staging plan")
+	}
+}
+
+// EpochShuffleTime returns the cost of a global per-epoch reshuffle under
+// the plan: free for replication (any node holds every sample), while a
+// partitioned dataset must exchange nearly all bytes over the fabric.
+func (s *Stager) EpochShuffleTime(dataset units.Bytes, nodes int, plan StagingPlan) units.Seconds {
+	if plan == ReplicateDataset || nodes <= 1 {
+		return 0
+	}
+	perNode := float64(dataset) / float64(nodes)
+	// A random permutation moves (nodes-1)/nodes of each node's data.
+	moved := perNode * float64(nodes-1) / float64(nodes)
+	return units.Seconds(moved / float64(s.ShuffleBW))
+}
+
+// TrainingReadRequirement returns the aggregate read bandwidth needed to
+// keep `devices` accelerators fed: throughput per device × record size ×
+// devices. This is the §VI-B estimate that yields ~20 TB/s for ResNet-50
+// on full Summit.
+func TrainingReadRequirement(devices int, samplesPerSecPerDevice float64,
+	recordBytes units.Bytes) units.BytesPerSecond {
+	return units.BytesPerSecond(float64(devices) * samplesPerSecPerDevice * float64(recordBytes))
+}
+
+// Sustains reports whether the store can feed the job, and the achieved
+// fraction (1 means fully fed; below 1 the input pipeline throttles
+// training by that factor).
+func Sustains(st Store, nodes int, required units.BytesPerSecond) (bool, float64) {
+	avail := st.ReadBW(nodes)
+	if avail >= required {
+		return true, 1
+	}
+	return false, float64(avail) / float64(required)
+}

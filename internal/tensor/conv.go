@@ -1,0 +1,190 @@
+package tensor
+
+import "fmt"
+
+// Conv2DOpts describes a 2-D convolution. Tensors are NCHW.
+type Conv2DOpts struct {
+	Stride  int
+	Padding int
+}
+
+// convOutDim returns the output spatial size for input size in, kernel k.
+func convOutDim(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// Im2Col unfolds the (N, C, H, W) input into a matrix of shape
+// (N*OH*OW, C*KH*KW) so that convolution becomes a matrix multiply. Padding
+// is zero-filled.
+func Im2Col(x *Tensor, kh, kw int, opts Conv2DOpts) *Tensor {
+	if x.Rank() != 4 {
+		panic("tensor: Im2Col of non-NCHW tensor")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	s, p := opts.Stride, opts.Padding
+	if s <= 0 {
+		panic("tensor: Im2Col stride must be positive")
+	}
+	oh := convOutDim(h, kh, s, p)
+	ow := convOutDim(w, kw, s, p)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col empty output for input %dx%d kernel %dx%d", h, w, kh, kw))
+	}
+	cols := New(n*oh*ow, c*kh*kw)
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.data[((img*oh+oy)*ow+ox)*c*kh*kw:]
+				col := 0
+				for ch := 0; ch < c; ch++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*s - p + ky
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*s - p + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								row[col] = x.data[((img*c+ch)*h+iy)*w+ix]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds the Im2Col matrix back into an (N, C, H, W) tensor,
+// accumulating overlapping contributions. It is the adjoint of Im2Col and
+// is used for convolution input gradients.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw int, opts Conv2DOpts) *Tensor {
+	s, p := opts.Stride, opts.Padding
+	oh := convOutDim(h, kh, s, p)
+	ow := convOutDim(w, kw, s, p)
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent", cols.shape))
+	}
+	x := New(n, c, h, w)
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.data[((img*oh+oy)*ow+ox)*c*kh*kw:]
+				col := 0
+				for ch := 0; ch < c; ch++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*s - p + ky
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*s - p + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								x.data[((img*c+ch)*h+iy)*w+ix] += row[col]
+							}
+							col++
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// Conv2D convolves the (N, C, H, W) input with (F, C, KH, KW) kernels and a
+// length-F bias, returning (N, F, OH, OW).
+func Conv2D(x, kernel, bias *Tensor, opts Conv2DOpts) *Tensor {
+	if x.Rank() != 4 || kernel.Rank() != 4 {
+		panic("tensor: Conv2D wants NCHW input and FCHW kernel")
+	}
+	n, c := x.shape[0], x.shape[1]
+	f, kc, kh, kw := kernel.shape[0], kernel.shape[1], kernel.shape[2], kernel.shape[3]
+	if kc != c {
+		panic(fmt.Sprintf("tensor: Conv2D channels %d vs kernel %d", c, kc))
+	}
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != f) {
+		panic("tensor: Conv2D bias shape")
+	}
+	oh := convOutDim(x.shape[2], kh, opts.Stride, opts.Padding)
+	ow := convOutDim(x.shape[3], kw, opts.Stride, opts.Padding)
+
+	cols := Im2Col(x, kh, kw, opts)                  // (N*OH*OW, C*KH*KW)
+	kmat := kernel.Reshape(f, c*kh*kw).Transpose2D() // (C*KH*KW, F)
+	prod := cols.MatMul(kmat)                        // (N*OH*OW, F)
+	out := New(n, f, oh, ow)
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				prow := prod.data[((img*oh+oy)*ow+ox)*f:]
+				for ch := 0; ch < f; ch++ {
+					v := prow[ch]
+					if bias != nil {
+						v += bias.data[ch]
+					}
+					out.data[((img*f+ch)*oh+oy)*ow+ox] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies non-overlapping-or-strided max pooling with a k×k
+// window. It returns the pooled output and the flat argmax index (into the
+// input tensor's data) for each output element, which the backward pass
+// uses to route gradients.
+func MaxPool2D(x *Tensor, k, stride int) (*Tensor, []int) {
+	if x.Rank() != 4 {
+		panic("tensor: MaxPool2D of non-NCHW tensor")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := convOutDim(h, k, stride, 0)
+	ow := convOutDim(w, k, stride, 0)
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Size())
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + (oy*stride)*w + ox*stride
+					best := x.data[bestIdx]
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							idx := base + (oy*stride+ky)*w + (ox*stride + kx)
+							if x.data[idx] > best {
+								best = x.data[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					out.data[oi] = best
+					arg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// AvgPool2DGlobal averages each channel's full spatial extent, returning an
+// (N, C) matrix. It is the global average pooling used before classifier
+// heads.
+func AvgPool2DGlobal(x *Tensor) *Tensor {
+	if x.Rank() != 4 {
+		panic("tensor: AvgPool2DGlobal of non-NCHW tensor")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c)
+	area := float64(h * w)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			var s float64
+			for i := 0; i < h*w; i++ {
+				s += x.data[base+i]
+			}
+			out.data[img*c+ch] = s / area
+		}
+	}
+	return out
+}

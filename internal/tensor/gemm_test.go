@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"summitscale/internal/stats"
+)
+
+func TestTiledMatchesMatMul(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, dims := range [][3]int{
+		{3, 4, 5}, {64, 64, 64}, {65, 63, 67}, {128, 1, 128}, {1, 200, 1}, {130, 70, 190},
+	} {
+		a := Randn(rng, 1, dims[0], dims[1])
+		b := Randn(rng, 1, dims[1], dims[2])
+		want := a.MatMul(b)
+		got := a.MatMulTiled(b)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("tiled mismatch at dims %v", dims)
+		}
+	}
+}
+
+func TestTiledMatchesNaiveProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint16) bool {
+		rng := stats.NewRNG(uint64(seed))
+		m := rng.Intn(40) + 1
+		k := rng.Intn(40) + 1
+		n := rng.Intn(40) + 1
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		want := New(m, n)
+		matmulNaive(want.Data(), a.Data(), b.Data(), m, k, n)
+		return a.MatMulTiled(b).Equal(want, 1e-9)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2, 3).MatMulTiled(New(2, 3))
+}
+
+// Kernel ablation: naive ijk vs row-streamed ikj vs tiled, at a size where
+// cache behaviour matters.
+func benchGemm(b *testing.B, kernel func(dst, a, bb []float64, m, k, n int), sz int) {
+	rng := stats.NewRNG(1)
+	a := Randn(rng, 1, sz, sz)
+	bb := Randn(rng, 1, sz, sz)
+	dst := New(sz, sz)
+	b.SetBytes(int64(2 * sz * sz * sz * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Zero()
+		kernel(dst.Data(), a.Data(), bb.Data(), sz, sz, sz)
+	}
+}
+
+func BenchmarkGemmNaive256(b *testing.B) {
+	benchGemm(b, matmulNaive, 256)
+}
+
+func BenchmarkGemmRowStream256(b *testing.B) {
+	benchGemm(b, func(dst, a, bb []float64, m, k, n int) {
+		matmulRows(dst, a, bb, 0, m, k, n)
+	}, 256)
+}
+
+func BenchmarkGemmTiled256(b *testing.B) {
+	rng := stats.NewRNG(1)
+	a := Randn(rng, 1, 256, 256)
+	bb := Randn(rng, 1, 256, 256)
+	b.SetBytes(int64(2 * 256 * 256 * 256 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatMulTiled(bb)
+	}
+}

@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the m*n*k product above which MatMul fans out
+// across goroutines. Below it the sequential kernel is faster.
+const matmulParallelThreshold = 64 * 64 * 64
+
+// MatMul returns the matrix product of the (M, K) tensor t and the (K, N)
+// tensor u. The kernel is cache-blocked over k and parallelized over row
+// bands for large problems.
+func (t *Tensor) MatMul(u *Tensor) *Tensor {
+	if t.Rank() != 2 || u.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul of rank %d and %d", t.Rank(), u.Rank()))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	r := New(m, n)
+	if m*n*k < matmulParallelThreshold {
+		matmulRows(r.data, t.data, u.data, 0, m, k, n)
+		return r
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(r.data, t.data, u.data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return r
+}
+
+// matmulRows computes rows [lo, hi) of the (m, n) product using an ikj loop
+// order, which streams through the b matrix row-wise and keeps the inner
+// loop vectorizable.
+func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		drow := dst[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose2D of non-matrix")
+	}
+	m, n := t.shape[0], t.shape[1]
+	r := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			r.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return r
+}
+
+// MatVec returns the matrix-vector product of the (M, N) tensor t and the
+// length-N vector v.
+func (t *Tensor) MatVec(v *Tensor) *Tensor {
+	if t.Rank() != 2 || v.Rank() != 1 || t.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v, %v", t.shape, v.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	r := New(m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		var s float64
+		for j, x := range row {
+			s += x * v.data[j]
+		}
+		r.data[i] = s
+	}
+	return r
+}
+
+// Dot returns the inner product of two equal-length rank-1 tensors.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if t.Rank() != 1 || u.Rank() != 1 || t.shape[0] != u.shape[0] {
+		panic(fmt.Sprintf("tensor: Dot shapes %v, %v", t.shape, u.shape))
+	}
+	var s float64
+	for i := range t.data {
+		s += t.data[i] * u.data[i]
+	}
+	return s
+}
+
+// Outer returns the outer product of rank-1 tensors t (len M) and u (len N),
+// an (M, N) matrix.
+func (t *Tensor) Outer(u *Tensor) *Tensor {
+	if t.Rank() != 1 || u.Rank() != 1 {
+		panic("tensor: Outer of non-vectors")
+	}
+	m, n := t.shape[0], u.shape[0]
+	r := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			r.data[i*n+j] = t.data[i] * u.data[j]
+		}
+	}
+	return r
+}

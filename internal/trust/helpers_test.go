@@ -1,0 +1,31 @@
+package trust
+
+import (
+	"summitscale/internal/data"
+	"summitscale/internal/tensor"
+)
+
+// newClimate builds the synthetic climate source used by the saliency test.
+func newClimate(seed uint64) *data.ClimateImages {
+	return data.NewClimateImages(seed, 32, 1, 8)
+}
+
+// batchClimate assembles the first n samples.
+func batchClimate(src *data.ClimateImages, n int) (*tensor.Tensor, []int) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return data.BatchImages(src, idx)
+}
+
+// stormImage returns the first label-1 sample.
+func stormImage(src *data.ClimateImages) (*tensor.Tensor, int) {
+	for i := 0; i < src.Len(); i++ {
+		s := src.Sample(i)
+		if s.Label == 1 {
+			return s.X, 1
+		}
+	}
+	return nil, -1
+}

@@ -1,0 +1,148 @@
+// Package trust implements the §VI-A "AI/ML method needs" the paper's
+// scientists raise, as working mechanisms:
+//
+//   - Satisfaction of constraints (§VI-A-3): exact enforcement of linear
+//     conservation laws on model outputs by final correction.
+//   - Generalizability (§VI-A-2): out-of-distribution detection via
+//     autoencoder reconstruction error, calibrated on in-distribution data.
+//   - Explainability (§VI-A-4): input-gradient saliency maps that show
+//     which inputs drove a prediction.
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/tensor"
+)
+
+// EnforceSumConstraint returns a copy of pred (N, C) whose rows sum
+// exactly to the given totals, by distributing each row's defect equally —
+// the "imposed by a final correction" option of §VI-A-3 for a linear
+// conservation law (e.g. mass or energy totals).
+func EnforceSumConstraint(pred *tensor.Tensor, totals []float64) *tensor.Tensor {
+	if pred.Rank() != 2 || pred.Dim(0) != len(totals) {
+		panic(fmt.Sprintf("trust: constraint shapes %v vs %d totals", pred.Shape(), len(totals)))
+	}
+	n, c := pred.Dim(0), pred.Dim(1)
+	out := pred.Clone()
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < c; j++ {
+			s += out.At(i, j)
+		}
+		defect := (totals[i] - s) / float64(c)
+		for j := 0; j < c; j++ {
+			out.Set(out.At(i, j)+defect, i, j)
+		}
+	}
+	return out
+}
+
+// ConstraintViolation returns the largest absolute row-sum defect.
+func ConstraintViolation(pred *tensor.Tensor, totals []float64) float64 {
+	var worst float64
+	n, c := pred.Dim(0), pred.Dim(1)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < c; j++ {
+			s += pred.At(i, j)
+		}
+		if d := math.Abs(s - totals[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// OODDetector flags out-of-distribution inputs by autoencoder
+// reconstruction error: inputs whose error exceeds the calibrated
+// quantile of in-distribution errors are flagged (§VI-A-2's "techniques
+// to ... detect out-of-distribution data").
+type OODDetector struct {
+	AE        *nn.Autoencoder
+	Threshold float64
+}
+
+// reconstructionError returns per-row squared reconstruction errors.
+func reconstructionError(ae *nn.Autoencoder, x *tensor.Tensor) []float64 {
+	recon := ae.Forward(autograd.Constant(x)).Data
+	n, c := x.Dim(0), x.Dim(1)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < c; j++ {
+			d := recon.At(i, j) - x.At(i, j)
+			s += d * d
+		}
+		out[i] = s / float64(c)
+	}
+	return out
+}
+
+// Calibrate sets the detector threshold to the q-quantile (0 < q < 1) of
+// reconstruction errors over in-distribution calibration data.
+func Calibrate(ae *nn.Autoencoder, calib *tensor.Tensor, q float64) *OODDetector {
+	if q <= 0 || q >= 1 {
+		panic("trust: quantile must be in (0, 1)")
+	}
+	errs := reconstructionError(ae, calib)
+	sort.Float64s(errs)
+	idx := int(q * float64(len(errs)))
+	if idx >= len(errs) {
+		idx = len(errs) - 1
+	}
+	return &OODDetector{AE: ae, Threshold: errs[idx]}
+}
+
+// Score returns each row's reconstruction error.
+func (d *OODDetector) Score(x *tensor.Tensor) []float64 {
+	return reconstructionError(d.AE, x)
+}
+
+// Flag returns, per row, whether the input looks out-of-distribution.
+func (d *OODDetector) Flag(x *tensor.Tensor) []bool {
+	errs := d.Score(x)
+	out := make([]bool, len(errs))
+	for i, e := range errs {
+		out[i] = e > d.Threshold
+	}
+	return out
+}
+
+// Saliency computes |∂loss/∂x| for a scalar loss built from a leaf input:
+// the input-gradient explanation of §VI-A-4 ("the ability of models to
+// show their work"). lossOf must build the loss from the provided leaf.
+func Saliency(x *tensor.Tensor, lossOf func(x *autograd.Value) *autograd.Value) *tensor.Tensor {
+	leaf := autograd.NewLeaf(x.Clone(), true)
+	loss := lossOf(leaf)
+	if loss.Data.Size() != 1 {
+		panic("trust: saliency needs a scalar loss")
+	}
+	loss.Backward(nil)
+	if leaf.Grad == nil {
+		return tensor.New(x.Shape()...)
+	}
+	return leaf.Grad.Apply(math.Abs)
+}
+
+// TopSalientFraction returns the fraction of total saliency mass carried
+// by the top-k entries — a concentration measure for explanation quality.
+func TopSalientFraction(sal *tensor.Tensor, k int) float64 {
+	vals := append([]float64(nil), sal.Data()...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	var top, total float64
+	for i, v := range vals {
+		total += v
+		if i < k {
+			top += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}

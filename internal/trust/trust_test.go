@@ -1,0 +1,180 @@
+package trust
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+func TestEnforceSumConstraintExact(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pred := tensor.Randn(rng, 1, 5, 4)
+	totals := []float64{1, 2, 3, 4, 5}
+	fixed := EnforceSumConstraint(pred, totals)
+	if v := ConstraintViolation(fixed, totals); v > 1e-12 {
+		t.Fatalf("violation after enforcement = %v", v)
+	}
+	// Correction is minimal in the uniform sense: each element moves by
+	// the same amount per row.
+	d00 := fixed.At(0, 0) - pred.At(0, 0)
+	d01 := fixed.At(0, 1) - pred.At(0, 1)
+	if math.Abs(d00-d01) > 1e-12 {
+		t.Fatalf("correction not uniform: %v vs %v", d00, d01)
+	}
+	// Original untouched.
+	if v := ConstraintViolation(pred, totals); v < 1e-6 {
+		t.Fatal("test predictions accidentally satisfied the constraint")
+	}
+}
+
+func TestEnforceSumConstraintShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EnforceSumConstraint(tensor.New(2, 2), []float64{1})
+}
+
+// trainAE fits a small autoencoder on clustered in-distribution data.
+func trainAE(t *testing.T, data *tensor.Tensor) *nn.Autoencoder {
+	t.Helper()
+	ae := nn.NewAutoencoder(stats.NewRNG(2), data.Dim(1), []int{16}, 2)
+	x := autograd.Constant(data)
+	for step := 0; step < 400; step++ {
+		nn.ZeroGrads(ae)
+		loss := autograd.MSE(ae.Forward(x), data)
+		loss.Backward(nil)
+		for _, p := range ae.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.05 * gd[i]
+			}
+		}
+	}
+	return ae
+}
+
+// inDist draws samples from a 2-D subspace of the 6-D feature space.
+func inDist(rng *stats.RNG, n int) *tensor.Tensor {
+	basis1 := []float64{1, 0.5, -0.3, 0.2, 0.8, -0.1}
+	basis2 := []float64{-0.2, 0.9, 0.4, -0.5, 0.1, 0.7}
+	out := tensor.New(n, 6)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		for j := 0; j < 6; j++ {
+			out.Set(a*basis1[j]+b*basis2[j]+rng.NormFloat64()*0.05, i, j)
+		}
+	}
+	return out
+}
+
+func TestOODDetectorSeparates(t *testing.T) {
+	rng := stats.NewRNG(3)
+	train := inDist(rng, 64)
+	ae := trainAE(t, train)
+	det := Calibrate(ae, inDist(rng, 64), 0.95)
+
+	// Fresh in-distribution data: few flags.
+	flagsIn := det.Flag(inDist(rng, 40))
+	inCount := 0
+	for _, f := range flagsIn {
+		if f {
+			inCount++
+		}
+	}
+	if inCount > 8 {
+		t.Fatalf("flagged %d/40 in-distribution samples", inCount)
+	}
+	// Off-manifold data: mostly flagged.
+	ood := tensor.Randn(stats.NewRNG(4), 2, 40, 6)
+	flagsOut := det.Flag(ood)
+	outCount := 0
+	for _, f := range flagsOut {
+		if f {
+			outCount++
+		}
+	}
+	if outCount < 30 {
+		t.Fatalf("flagged only %d/40 out-of-distribution samples", outCount)
+	}
+}
+
+func TestCalibrateQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Calibrate(nn.NewAutoencoder(stats.NewRNG(1), 4, []int{4}, 2), tensor.New(2, 4), 1.5)
+}
+
+// TestSaliencyFindsInformativeInput: a model that only uses feature 2 must
+// produce saliency concentrated on feature 2.
+func TestSaliencyFindsInformativeInput(t *testing.T) {
+	x := tensor.FromSlice([]float64{0.5, -1, 2, 0.3}, 1, 4)
+	sal := Saliency(x, func(leaf *autograd.Value) *autograd.Value {
+		// loss = (3*x[2])^2
+		w := autograd.Constant(tensor.FromSlice([]float64{0, 0, 3, 0}, 4, 1))
+		return autograd.Sum(autograd.Square(autograd.MatMul(leaf, w)))
+	})
+	for j := 0; j < 4; j++ {
+		if j == 2 {
+			if sal.At(0, 2) == 0 {
+				t.Fatal("informative feature has zero saliency")
+			}
+			continue
+		}
+		if sal.At(0, j) != 0 {
+			t.Fatalf("uninformative feature %d has saliency %v", j, sal.At(0, j))
+		}
+	}
+	if frac := TopSalientFraction(sal, 1); frac != 1 {
+		t.Fatalf("top-1 saliency fraction = %v", frac)
+	}
+}
+
+// TestSaliencyOnClimateClassifier: for a trained cyclone detector, the
+// saliency of a storm image should concentrate around the vortex rather
+// than spreading uniformly.
+func TestSaliencyOnClimateClassifier(t *testing.T) {
+	// Build a tiny classifier and train briefly on climate images.
+	rngData := stats.NewRNG(5)
+	_ = rngData
+	srcSeed := uint64(6)
+	src := newClimate(srcSeed)
+	m := nn.NewSmallCNN(stats.NewRNG(7), nn.SmallCNNConfig{
+		InChannels: 1, ImageSize: 8, Channels: []int{4}, Classes: 2,
+	})
+	for step := 0; step < 40; step++ {
+		nn.ZeroGrads(m)
+		x, labels := batchClimate(src, 16)
+		loss := autograd.SoftmaxCrossEntropy(m.Forward(autograd.Constant(x)), labels)
+		loss.Backward(nil)
+		for _, p := range m.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.05 * gd[i]
+			}
+		}
+	}
+	// Saliency of one storm image w.r.t. the storm logit.
+	img, label := stormImage(src)
+	if label != 1 {
+		t.Fatal("expected a storm image")
+	}
+	sal := Saliency(img.Reshape(1, 1, 8, 8), func(leaf *autograd.Value) *autograd.Value {
+		logits := m.Forward(leaf)
+		return autograd.SoftmaxCrossEntropy(logits, []int{1})
+	})
+	// Concentration: top 10 of 64 pixels should carry well over 10/64 of
+	// the saliency mass.
+	frac := TopSalientFraction(sal, 10)
+	if frac < 0.3 {
+		t.Fatalf("saliency not concentrated: top-10 fraction %v", frac)
+	}
+}

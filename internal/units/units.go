@@ -1,0 +1,149 @@
+// Package units provides byte, rate, and floating-point-operation quantities
+// used throughout the Summit machine and performance models, together with
+// human-readable formatting helpers.
+//
+// All quantities are simple float64 or int64 wrappers so arithmetic stays
+// ordinary Go arithmetic; the types exist for documentation and printing.
+package units
+
+import "fmt"
+
+// Bytes is a data size in bytes.
+type Bytes float64
+
+// Common byte sizes.
+const (
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+	PB Bytes = 1e15
+
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+	TiB Bytes = 1 << 40
+)
+
+// String formats a size with a decimal SI suffix.
+func (b Bytes) String() string {
+	switch {
+	case b >= PB:
+		return fmt.Sprintf("%.2f PB", float64(b/PB))
+	case b >= TB:
+		return fmt.Sprintf("%.2f TB", float64(b/TB))
+	case b >= GB:
+		return fmt.Sprintf("%.2f GB", float64(b/GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2f MB", float64(b/MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2f KB", float64(b/KB))
+	default:
+		return fmt.Sprintf("%.0f B", float64(b))
+	}
+}
+
+// BytesPerSecond is a data transfer rate.
+type BytesPerSecond float64
+
+// Common rates.
+const (
+	KBps BytesPerSecond = 1e3
+	MBps BytesPerSecond = 1e6
+	GBps BytesPerSecond = 1e9
+	TBps BytesPerSecond = 1e12
+)
+
+// String formats a rate with a decimal SI suffix.
+func (r BytesPerSecond) String() string {
+	switch {
+	case r >= TBps:
+		return fmt.Sprintf("%.2f TB/s", float64(r/TBps))
+	case r >= GBps:
+		return fmt.Sprintf("%.2f GB/s", float64(r/GBps))
+	case r >= MBps:
+		return fmt.Sprintf("%.2f MB/s", float64(r/MBps))
+	case r >= KBps:
+		return fmt.Sprintf("%.2f KB/s", float64(r/KBps))
+	default:
+		return fmt.Sprintf("%.0f B/s", float64(r))
+	}
+}
+
+// Flops is a count of floating point operations.
+type Flops float64
+
+// Common operation counts.
+const (
+	MFlop Flops = 1e6
+	GFlop Flops = 1e9
+	TFlop Flops = 1e12
+	PFlop Flops = 1e15
+	EFlop Flops = 1e18
+)
+
+// String formats an operation count with an SI suffix.
+func (f Flops) String() string {
+	switch {
+	case f >= EFlop:
+		return fmt.Sprintf("%.2f EFlop", float64(f/EFlop))
+	case f >= PFlop:
+		return fmt.Sprintf("%.2f PFlop", float64(f/PFlop))
+	case f >= TFlop:
+		return fmt.Sprintf("%.2f TFlop", float64(f/TFlop))
+	case f >= GFlop:
+		return fmt.Sprintf("%.2f GFlop", float64(f/GFlop))
+	case f >= MFlop:
+		return fmt.Sprintf("%.2f MFlop", float64(f/MFlop))
+	default:
+		return fmt.Sprintf("%.0f Flop", float64(f))
+	}
+}
+
+// FlopsPerSecond is a computation rate.
+type FlopsPerSecond float64
+
+// Common computation rates.
+const (
+	GFlops FlopsPerSecond = 1e9
+	TFlops FlopsPerSecond = 1e12
+	PFlops FlopsPerSecond = 1e15
+	EFlops FlopsPerSecond = 1e18
+)
+
+// String formats a computation rate with an SI suffix.
+func (f FlopsPerSecond) String() string {
+	switch {
+	case f >= EFlops:
+		return fmt.Sprintf("%.2f EFlop/s", float64(f/EFlops))
+	case f >= PFlops:
+		return fmt.Sprintf("%.2f PFlop/s", float64(f/PFlops))
+	case f >= TFlops:
+		return fmt.Sprintf("%.2f TFlop/s", float64(f/TFlops))
+	case f >= GFlops:
+		return fmt.Sprintf("%.2f GFlop/s", float64(f/GFlops))
+	default:
+		return fmt.Sprintf("%.0f Flop/s", float64(f))
+	}
+}
+
+// Seconds is a duration in seconds, kept as float64 for model arithmetic.
+type Seconds float64
+
+// String formats a duration with an appropriate unit.
+func (s Seconds) String() string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.2f h", float64(s)/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.2f min", float64(s)/60)
+	case s >= 1:
+		return fmt.Sprintf("%.3f s", float64(s))
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3f ms", float64(s)*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3f µs", float64(s)*1e6)
+	default:
+		return fmt.Sprintf("%.1f ns", float64(s)*1e9)
+	}
+}

@@ -1,0 +1,87 @@
+package units
+
+import "testing"
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		v    Bytes
+		want string
+	}{
+		{500, "500 B"},
+		{2 * KB, "2.00 KB"},
+		{110 * KB, "110.00 KB"},
+		{1.38 * GB, "1.38 GB"},
+		{2.5 * TB, "2.50 TB"},
+		{1.5 * PB, "1.50 PB"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Bytes(%v).String() = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		v    BytesPerSecond
+		want string
+	}{
+		{25 * GBps, "25.00 GB/s"},
+		{12.5 * GBps, "12.50 GB/s"},
+		{2.5 * TBps, "2.50 TB/s"},
+		{999, "999 B/s"},
+		{3 * MBps, "3.00 MB/s"},
+		{7 * KBps, "7.00 KB/s"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestFlopsString(t *testing.T) {
+	if got := (1.13 * EFlops).String(); got != "1.13 EFlop/s" {
+		t.Errorf("EFlops string = %q", got)
+	}
+	if got := (603 * PFlops).String(); got != "603.00 PFlop/s" {
+		t.Errorf("PFlops string = %q", got)
+	}
+	if got := (125 * TFlops).String(); got != "125.00 TFlop/s" {
+		t.Errorf("TFlops string = %q", got)
+	}
+	if got := Flops(23 * GFlop).String(); got != "23.00 GFlop" {
+		t.Errorf("GFlop string = %q", got)
+	}
+	if got := Flops(5).String(); got != "5 Flop" {
+		t.Errorf("Flop string = %q", got)
+	}
+	if got := FlopsPerSecond(10).String(); got != "10 Flop/s" {
+		t.Errorf("Flop/s string = %q", got)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		v    Seconds
+		want string
+	}{
+		{7200, "2.00 h"},
+		{90, "1.50 min"},
+		{2.5, "2.500 s"},
+		{0.008, "8.000 ms"},
+		{5e-6, "5.000 µs"},
+		{3e-9, "3.0 ns"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestBinaryUnits(t *testing.T) {
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1<<30 || TiB != 1<<40 {
+		t.Fatal("binary units wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package workflow
+
+import (
+	"fmt"
+
+	"summitscale/internal/stats"
+)
+
+// RetryPolicy wraps task bodies with bounded retries — campaign workflows
+// at leadership scale treat node failures and queue evictions as routine,
+// so the §V orchestrators (Balsam, RAPTOR) all retry failed stages.
+type RetryPolicy struct {
+	MaxAttempts int
+	// OnRetry, if non-nil, observes (task, attempt, err) before each retry.
+	OnRetry func(task string, attempt int, err error)
+}
+
+// Wrap returns a task body that retries body up to MaxAttempts times.
+func (p RetryPolicy) Wrap(name string, body func(ctx *Context) error) func(*Context) error {
+	if p.MaxAttempts < 1 {
+		panic("workflow: retry policy needs at least one attempt")
+	}
+	return func(ctx *Context) error {
+		var last error
+		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+			last = body(ctx)
+			if last == nil {
+				return nil
+			}
+			if attempt < p.MaxAttempts && p.OnRetry != nil {
+				p.OnRetry(name, attempt, last)
+			}
+		}
+		return fmt.Errorf("workflow: task %q failed after %d attempts: %w",
+			name, p.MaxAttempts, last)
+	}
+}
+
+// FaultInjector makes task bodies fail with a given probability — the
+// failure-injection harness used to test campaign resilience.
+type FaultInjector struct {
+	rng  *stats.RNG
+	Prob float64
+	// Injected counts the faults delivered.
+	Injected int
+}
+
+// NewFaultInjector creates an injector with failure probability p.
+func NewFaultInjector(seed uint64, p float64) *FaultInjector {
+	if p < 0 || p >= 1 {
+		panic("workflow: fault probability must be in [0, 1)")
+	}
+	return &FaultInjector{rng: stats.NewRNG(seed), Prob: p}
+}
+
+// Wrap returns a body that fails randomly before running the real body.
+func (f *FaultInjector) Wrap(name string, body func(ctx *Context) error) func(*Context) error {
+	return func(ctx *Context) error {
+		if f.rng.Bool(f.Prob) {
+			f.Injected++
+			return fmt.Errorf("workflow: injected fault in %q", name)
+		}
+		if body == nil {
+			return nil
+		}
+		return body(ctx)
+	}
+}

@@ -1,0 +1,114 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRetrySucceedsEventually(t *testing.T) {
+	attempts := 0
+	body := func(*Context) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}
+	var retries []int
+	p := RetryPolicy{MaxAttempts: 5, OnRetry: func(_ string, a int, _ error) {
+		retries = append(retries, a)
+	}}
+	if err := p.Wrap("t", body)(NewContext()); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("retry observations = %v", retries)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	boom := errors.New("permanent")
+	p := RetryPolicy{MaxAttempts: 3}
+	err := p.Wrap("t", func(*Context) error { return boom })(NewContext())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryPolicyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RetryPolicy{MaxAttempts: 0}.Wrap("t", nil)
+}
+
+func TestFaultInjectorDeliversFaults(t *testing.T) {
+	f := NewFaultInjector(1, 0.5)
+	fails := 0
+	body := f.Wrap("t", func(*Context) error { return nil })
+	ctx := NewContext()
+	for i := 0; i < 1000; i++ {
+		if body(ctx) != nil {
+			fails++
+		}
+	}
+	if fails != f.Injected {
+		t.Fatalf("fails %d vs injected %d", fails, f.Injected)
+	}
+	if fails < 400 || fails > 600 {
+		t.Fatalf("injected %d faults of 1000 at p=0.5", fails)
+	}
+}
+
+// TestCampaignSurvivesFaultsWithRetries is the §V resilience scenario: a
+// fault-injected multi-stage campaign completes when every task is
+// wrapped in retries.
+func TestCampaignSurvivesFaultsWithRetries(t *testing.T) {
+	inj := NewFaultInjector(7, 0.4)
+	retry := RetryPolicy{MaxAttempts: 10}
+	w := New()
+	var completed []string
+	mark := func(name string) func(*Context) error {
+		return func(c *Context) error {
+			c.Set(name, true)
+			completed = append(completed, name)
+			return nil
+		}
+	}
+	w.MustAdd(&Task{Name: "simulate", Run: retry.Wrap("simulate", inj.Wrap("simulate", mark("simulate")))})
+	w.MustAdd(&Task{Name: "train", Deps: []string{"simulate"},
+		Run: retry.Wrap("train", inj.Wrap("train", mark("train")))})
+	w.MustAdd(&Task{Name: "steer", Deps: []string{"train"},
+		Run: retry.Wrap("steer", inj.Wrap("steer", mark("steer")))})
+	if err := w.Run(NewContext()); err != nil {
+		t.Fatalf("campaign failed despite retries: %v", err)
+	}
+	if len(completed) != 3 {
+		t.Fatalf("completed = %v", completed)
+	}
+	if inj.Injected == 0 {
+		t.Fatal("no faults were injected; the test proves nothing")
+	}
+}
+
+func TestCampaignFailsWithoutRetries(t *testing.T) {
+	// With p=0.9 per task and three tasks, an unprotected campaign almost
+	// surely fails; assert it reports the failure cleanly.
+	inj := NewFaultInjector(3, 0.9)
+	w := New()
+	w.MustAdd(&Task{Name: "a", Run: inj.Wrap("a", nil)})
+	w.MustAdd(&Task{Name: "b", Deps: []string{"a"}, Run: inj.Wrap("b", nil)})
+	w.MustAdd(&Task{Name: "c", Deps: []string{"b"}, Run: inj.Wrap("c", nil)})
+	if err := w.Run(NewContext()); err == nil {
+		t.Skip("improbably lucky run")
+	}
+}
