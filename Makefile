@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples figures clean
+.PHONY: all tier1 build vet test race bench repro examples figures clean
 
 all: build vet test
+
+# Tier-1 gate: what CI (and the growth driver) holds the repo to.
+tier1: build vet test race
 
 build:
 	$(GO) build ./...

@@ -19,6 +19,7 @@ import (
 	"summitscale/internal/netsim"
 	"summitscale/internal/nn"
 	"summitscale/internal/optim"
+	"summitscale/internal/platform"
 	"summitscale/internal/stats"
 	"summitscale/internal/storage"
 	"summitscale/internal/tensor"
@@ -84,6 +85,38 @@ func BenchmarkTrustMechanisms(b *testing.B) { benchExperiment(b, "V1") }
 func BenchmarkWorkflowMaterials(b *testing.B) { benchExperiment(b, "W1") }
 func BenchmarkWorkflowBiology(b *testing.B)   { benchExperiment(b, "W2") }
 func BenchmarkWorkflowDrug(b *testing.B)      { benchExperiment(b, "W3") }
+
+// Cross-platform sweep: the Kurth et al. climate study (S1) replayed on
+// every registered machine. One iteration evaluates the full study on one
+// platform; the first iteration logs the per-machine efficiency so
+// `go test -bench Platform -v` doubles as a what-if report.
+
+func BenchmarkPlatformScalingSweep(b *testing.B) {
+	for _, name := range platform.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			p, err := platform.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				s := core.ScalingStudiesOn(p)[0]
+				r := core.RunScalingStudy(s)
+				if len(r.Metrics) == 0 {
+					b.Fatalf("%s: no metrics", name)
+				}
+				for _, m := range r.Metrics {
+					if m.Measured != m.Measured || m.Measured > 1e308 || m.Measured < -1e308 {
+						b.Fatalf("%s: metric %q is not finite: %v", name, m.Name, m.Measured)
+					}
+				}
+				if i == 0 {
+					b.Logf("%s: %s = %.4f", name, r.Metrics[0].Name, r.Metrics[0].Measured)
+				}
+			}
+		})
+	}
+}
 
 // Ablation A1 — allreduce algorithm choice. The real collectives run at a
 // fixed vector size per sub-benchmark; the analytic crossover from the

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	summit-scale                 # all five studies
-//	summit-scale -study S4       # one study (S1..S5, case-insensitive)
+//	summit-scale                      # all five studies on Summit
+//	summit-scale -study S4            # one study (S1..S5, case-insensitive)
+//	summit-scale -platform frontier   # replay the studies on another machine
 package main
 
 import (
@@ -16,13 +17,20 @@ import (
 	"strings"
 
 	"summitscale/internal/core"
+	"summitscale/internal/platform"
 )
 
 func main() {
 	study := flag.String("study", "", "study id (S1..S5); empty = all")
 	svgDir := flag.String("svg", "", "also write efficiency-curve SVGs into this directory")
+	plat := flag.String("platform", "summit", "machine to run the studies on ("+strings.Join(platform.Names(), ", ")+")")
 	flag.Parse()
 
+	p, err := platform.Lookup(*plat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summit-scale: %v\n", err)
+		os.Exit(2)
+	}
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "summit-scale: %v\n", err)
@@ -31,12 +39,14 @@ func main() {
 	}
 	want := strings.ToUpper(*study)
 	found := false
-	for _, s := range core.ScalingStudies() {
+	studies := core.ScalingStudiesOn(p)
+	exps := core.ScalingExperimentsOn(p)
+	for i, s := range studies {
 		if want != "" && s.ID != want {
 			continue
 		}
 		found = true
-		e, _ := core.ByID(s.ID)
+		e := exps[i]
 		fmt.Print(core.RenderResult(e, e.Run()))
 		fmt.Println()
 		if *svgDir != "" {

@@ -4,37 +4,58 @@
 //
 // Usage:
 //
-//	summit-sysreq         # both analyses
-//	summit-sysreq -io     # I/O only
-//	summit-sysreq -comm   # communication only
+//	summit-sysreq                      # both analyses on Summit
+//	summit-sysreq -io                  # I/O only
+//	summit-sysreq -comm                # communication only
+//	summit-sysreq -platform frontier   # replay on another machine
+//	summit-sysreq -platforms           # list registered machines
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"summitscale/internal/core"
+	"summitscale/internal/platform"
 )
 
 func main() {
 	io := flag.Bool("io", false, "I/O analysis only")
 	comm := flag.Bool("comm", false, "communication analysis only")
 	roofline := flag.Bool("roofline", false, "device roofline analysis only")
+	plat := flag.String("platform", "summit", "machine to analyse ("+strings.Join(platform.Names(), ", ")+")")
+	list := flag.Bool("platforms", false, "list registered platforms and exit")
 	flag.Parse()
 
+	if *list {
+		for _, n := range platform.Names() {
+			p := platform.MustLookup(n)
+			fmt.Printf("%-16s %s (%d nodes)\n", n, p.Name, p.Nodes)
+		}
+		return
+	}
+	p, err := platform.Lookup(*plat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summit-sysreq: %v\n", err)
+		os.Exit(2)
+	}
+
+	exps := core.SysreqExperimentsOn(p) // IO1, C1, R1
 	all := !*io && !*comm && !*roofline
 	if *io || all {
-		e, _ := core.ByID("IO1")
+		e := exps[0]
 		fmt.Print(core.RenderResult(e, e.Run()))
 		fmt.Println()
 	}
 	if *comm || all {
-		e, _ := core.ByID("C1")
+		e := exps[1]
 		fmt.Print(core.RenderResult(e, e.Run()))
 		fmt.Println()
 	}
 	if *roofline || all {
-		e, _ := core.ByID("R1")
+		e := exps[2]
 		fmt.Print(core.RenderResult(e, e.Run()))
 	}
 }

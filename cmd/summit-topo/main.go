@@ -6,6 +6,7 @@
 //
 //	summit-topo -radix 16                 # topology summary + traffic study
 //	summit-topo -radix 8 -route 0,100     # show the path between two hosts
+//	summit-topo -platform frontier        # fluid model at another machine's rates
 package main
 
 import (
@@ -16,15 +17,28 @@ import (
 	"strings"
 
 	"summitscale/internal/netsim"
+	"summitscale/internal/platform"
 	"summitscale/internal/stats"
 	"summitscale/internal/topology"
 	"summitscale/internal/units"
 )
 
+// bwLabel renders a link rate compactly ("25 GB/s", not "25.00 GB/s").
+func bwLabel(bw units.BytesPerSecond) string {
+	return strings.Replace(bw.String(), ".00 ", " ", 1)
+}
+
 func main() {
 	radix := flag.Int("radix", 16, "fat-tree switch radix (even)")
 	route := flag.String("route", "", "src,dst host pair to trace")
+	plat := flag.String("platform", "summit", "machine whose link rates drive the fluid model ("+strings.Join(platform.Names(), ", ")+")")
 	flag.Parse()
+
+	p, err := platform.Lookup(*plat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summit-topo: %v\n", err)
+		os.Exit(2)
+	}
 
 	ft := topology.NewFatTree(*radix)
 	fmt.Printf("k=%d fat tree: %d hosts, %d pods, %d edge+%d agg per pod, %d core switches\n",
@@ -77,9 +91,10 @@ func main() {
 	}
 	fmt.Printf("  incast to host 0 %7d  (inherent)\n", ft.MaxLinkLoad())
 
-	// Fluid-model timings for a ring allreduce step at Summit link rates.
+	// Fluid-model timings for a ring allreduce step at the selected
+	// machine's injection rate and network latency.
 	chunk := units.Bytes(10 * units.MB)
 	tm := netsim.RingStepTime(topology.NewFatTree(*radix), ft.HostCount, chunk,
-		25*units.GBps, 1.5e-6)
-	fmt.Printf("\nring step of %v/host on 25 GB/s links: %v\n", chunk, tm)
+		p.Node.InjectionBW, p.NetworkLatency)
+	fmt.Printf("\nring step of %v/host on %s links: %v\n", chunk, bwLabel(p.Node.InjectionBW), tm)
 }

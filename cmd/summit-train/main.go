@@ -22,6 +22,7 @@ import (
 	"summitscale/internal/mp"
 	"summitscale/internal/nn"
 	"summitscale/internal/optim"
+	"summitscale/internal/platform"
 	"summitscale/internal/stats"
 	"summitscale/internal/tensor"
 )
@@ -54,10 +55,29 @@ func main() {
 	lr := flag.Float64("lr", 0.05, "learning rate")
 	fp16 := flag.Bool("fp16", false, "fp16 gradient compression")
 	accum := flag.Int("accum", 1, "gradient accumulation steps")
-	hier := flag.Int("hier", 0, "hierarchical allreduce island size (0 = flat ring)")
+	hier := flag.Int("hier", 0, "hierarchical allreduce island size (0 = flat ring, -1 = platform GPUs/node)")
+	plat := flag.String("platform", "summit", "machine whose node shape sizes -hier -1 islands")
 	ckpt := flag.String("ckpt", "", "checkpoint path: save after training, load first if present")
 	seed := flag.Uint64("seed", 1, "seed")
 	flag.Parse()
+
+	p, err := platform.Lookup(*plat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summit-train: %v\n", err)
+		os.Exit(2)
+	}
+	if *hier < 0 {
+		if p.Node.GPUs <= 0 {
+			fmt.Fprintf(os.Stderr, "summit-train: -hier -1 needs a platform with GPUs per node, %s has none\n", p.Name)
+			os.Exit(2)
+		}
+		*hier = p.Node.GPUs
+	}
+	if *hier > 0 && *ranks%*hier != 0 {
+		fmt.Fprintf(os.Stderr, "summit-train: %d ranks not divisible by island size %d (%s has %d GPUs/node); pick -ranks as a multiple\n",
+			*ranks, *hier, p.Name, p.Node.GPUs)
+		os.Exit(2)
+	}
 
 	cfg := ddl.Config{AccumSteps: *accum}
 	if *fp16 {

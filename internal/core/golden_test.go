@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"summitscale/internal/platform"
+)
+
+// The platform refactor must not perturb the paper-baseline reports by a
+// single byte: the golden files under testdata/ were captured from the
+// pre-refactor Summit-only constructors.
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	return string(b)
+}
+
+// TestSysreqGoldenSummit reproduces `summit-sysreq -platform summit`
+// byte-for-byte: IO1 and C1 each followed by a blank line, then R1.
+func TestSysreqGoldenSummit(t *testing.T) {
+	exps := SysreqExperimentsOn(platform.Summit())
+	var b strings.Builder
+	for i, e := range exps {
+		b.WriteString(RenderResult(e, e.Run()))
+		if i < 2 {
+			b.WriteString("\n")
+		}
+	}
+	if got, want := b.String(), readGolden(t, "summit-sysreq.golden"); got != want {
+		t.Errorf("summit sysreq report diverged from pre-refactor golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestScalingGoldenSummit pins the §IV-B scaling reports on the baseline.
+func TestScalingGoldenSummit(t *testing.T) {
+	exps := ScalingExperimentsOn(platform.Summit())
+	for _, e := range exps {
+		got := RenderResult(e, e.Run())
+		want := readGolden(t, "scaling-"+e.ID+".golden")
+		if got != want {
+			t.Errorf("%s report diverged from pre-refactor golden:\n--- got ---\n%s\n--- want ---\n%s", e.ID, got, want)
+		}
+	}
+}
+
+// TestReportsFiniteOnAllPlatforms runs every sysreq and scaling
+// experiment on every registered machine and rejects NaN/Inf metrics or
+// empty reports.
+func TestReportsFiniteOnAllPlatforms(t *testing.T) {
+	for _, name := range platform.Names() {
+		p, err := platform.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		exps := append(SysreqExperimentsOn(p), ScalingExperimentsOn(p)...)
+		if len(exps) != 8 {
+			t.Fatalf("%s: want 8 experiments, got %d", name, len(exps))
+		}
+		for _, e := range exps {
+			res := e.Run()
+			if len(res.Metrics) == 0 {
+				t.Errorf("%s/%s: no metrics", name, e.ID)
+			}
+			for _, m := range res.Metrics {
+				if math.IsNaN(m.Measured) || math.IsInf(m.Measured, 0) {
+					t.Errorf("%s/%s: metric %q is not finite: %v", name, e.ID, m.Name, m.Measured)
+				}
+			}
+			if strings.TrimSpace(res.Detail) == "" {
+				t.Errorf("%s/%s: empty detail", name, e.ID)
+			}
+			if out := RenderResult(e, res); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Errorf("%s/%s: rendered report contains NaN/Inf:\n%s", name, e.ID, out)
+			}
+		}
+	}
+}
+
+// TestFrontierCrossoverDiffers checks the acceptance criterion that the
+// replayed communication analysis is actually sensitive to the machine:
+// the ring/recursive-doubling crossover moves with the fabric parameters.
+func TestFrontierCrossoverDiffers(t *testing.T) {
+	summit := platform.Summit().Fabric()
+	frontier := platform.MustLookup("frontier").Fabric()
+	cs := summit.RingTreeCrossover(4096)
+	cf := frontier.RingTreeCrossover(4096)
+	if cs == cf {
+		t.Errorf("crossover identical on summit and frontier (%v); platform parameters not threaded through", cs)
+	}
+}

@@ -6,7 +6,7 @@ import (
 
 	"summitscale/internal/models"
 	"summitscale/internal/perf"
-	"summitscale/internal/storage"
+	"summitscale/internal/platform"
 	"summitscale/internal/units"
 )
 
@@ -29,54 +29,75 @@ type ScalingStudy struct {
 	Curve []int
 }
 
-// ScalingStudies returns the five §IV-B cases with calibrated models.
+// ScalingStudies returns the five §IV-B cases with calibrated models on
+// the paper's baseline machine.
 func ScalingStudies() []ScalingStudy {
+	return ScalingStudiesOn(platform.Summit())
+}
+
+// ScalingStudiesOn returns the §IV-B cases replayed on the given
+// platform. On the baseline the studies are byte-identical to the seed
+// (locked by the golden tests). Elsewhere the node schedule is clamped to
+// the machine's size, the input path falls back to the shared FS on
+// diskless machines, and the paper's Summit-only reference values are
+// dropped so the metrics render as informational.
+func ScalingStudiesOn(p platform.Platform) []ScalingStudy {
+	clamp := func(n int) int {
+		if n > p.Nodes {
+			return p.Nodes
+		}
+		return n
+	}
+	// Fastest training input path: node-local NVMe when present.
+	nodeLocal := p.TrainingStore()
+	sharedFS := p.GPFS()
+
 	// S1 — Kurth et al.: DeepLabv3+/Tiramisu climate segmentation.
 	// Gradient lag hides the fp16 allreduce; node-local NVMe feeds input;
 	// 0.8%/doubling straggler jitter reproduces the 90.7% efficiency.
-	kurth := perf.SummitJob(models.DeepLabV3Plus(), 4560)
+	kurth := p.Job(models.DeepLabV3Plus(), clamp(4560))
 	kurth.GradLag = true
-	kurth.Store = storage.NewNVMe()
+	kurth.Store = nodeLocal
 	kurth.JitterPerDoubling = 0.008
 
 	// S2 — Yang et al.: PI-GAN with model (2-way) + data parallelism.
-	yang := perf.SummitJob(models.PIGAN(), 4584)
+	yang := p.Job(models.PIGAN(), clamp(4584))
 	yang.ModelParallelWays = 2
 	yang.OverlapComm = 0.9
-	yang.Store = storage.NewNVMe()
+	yang.Store = nodeLocal
 	yang.JitterPerDoubling = 0.0055
 
 	// S3 — Laanait et al.: FC-DenseNet with custom gradient-reduction
 	// optimizations (modelled as near-total overlap).
-	laanait := perf.SummitJob(models.FCDenseNet(), 4600)
+	laanait := p.Job(models.FCDenseNet(), clamp(4600))
 	laanait.OverlapComm = 0.95
-	laanait.Store = storage.NewNVMe()
+	laanait.Store = nodeLocal
 	laanait.JitterPerDoubling = 0.004
 
 	// S4 — Khan et al.: WaveNet with LAMB, 8 -> 1024 nodes at 80%. The
 	// dominant losses were input-pipeline and optimizer stragglers; jitter
 	// is calibrated accordingly (3%/doubling) with modest overlap.
-	khan := perf.SummitJob(models.WaveNetGW(), 1024)
+	khan := p.Job(models.WaveNetGW(), clamp(1024))
 	khan.OverlapComm = 0.3
-	khan.Store = storage.NewGPFS()
+	khan.Store = sharedFS
 	khan.JitterPerDoubling = 0.03
 
 	// S5 — Blanchard et al.: BERT pretraining with gradient accumulation
 	// and batch up to 5.8M. The with-I/O job charges an effective 1.35 MB
 	// per sample (dataset re-reads plus synchronous checkpoint traffic)
 	// against GPFS, reproducing the 68% vs 83.3% gap.
-	blanchardNoIO := perf.SummitJob(models.BERTLarge(), 4032)
+	blanchardNoIO := p.Job(models.BERTLarge(), clamp(4032))
 	blanchardNoIO.AccumSteps = 8
 	blanchardNoIO.OverlapComm = 0.65
 	blanchardNoIO.JitterPerDoubling = 0.005
 
 	blanchard := blanchardNoIO
-	blanchard.Store = storage.NewGPFS()
+	blanchard.Store = sharedFS
 	ioModel := blanchard.Model
 	ioModel.RecordBytes = units.Bytes(1.35 * 1e6)
 	blanchard.Model = ioModel
 
-	return []ScalingStudy{
+	studies := []ScalingStudy{
 		{
 			ID: "S1", Name: "Kurth et al. — exascale climate analytics",
 			PaperClaim: "4560 nodes, 1.13 EF mixed-precision peak, 90.7% parallel efficiency",
@@ -124,6 +145,38 @@ func ScalingStudies() []ScalingStudy {
 			Curve:               []int{1, 16, 64, 256, 1024, 4032},
 		},
 	}
+	if !p.IsPaperBaseline() {
+		for i := range studies {
+			s := &studies[i]
+			s.Name += fmt.Sprintf(" [replayed on %s]", p.Name)
+			s.PaperClaim = fmt.Sprintf("Summit result: %s — replayed on %s without reference values",
+				s.PaperClaim, p.Name)
+			s.AtNodes = clamp(s.AtNodes)
+			s.Curve = clampCurve(s.Curve, p.Nodes)
+			// The paper's numbers were measured on Summit only; on other
+			// machines the model output is informational.
+			s.PaperEfficiency = 0
+			s.PaperFlops = 0
+			s.PaperNoIOEfficiency = 0
+		}
+	}
+	return studies
+}
+
+// clampCurve caps a node schedule at the machine size, deduplicating the
+// tail when several points collapse onto the cap.
+func clampCurve(curve []int, max int) []int {
+	out := make([]int, 0, len(curve))
+	for _, n := range curve {
+		if n > max {
+			n = max
+		}
+		if len(out) > 0 && out[len(out)-1] == n {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // RunScalingStudy evaluates one study.
@@ -152,9 +205,17 @@ func RunScalingStudy(s ScalingStudy) Result {
 	}
 	if s.NoIOJob != nil {
 		noIOEff := perf.ParallelEfficiency(*s.NoIOJob, s.BaseNodes, s.AtNodes)
-		ms = append(ms, Metric{Name: "efficiency without I/O", Paper: s.PaperNoIOEfficiency,
-			Measured: noIOEff, Tol: 0.10})
-		if noIOEff <= eff {
+		if s.PaperNoIOEfficiency > 0 {
+			ms = append(ms, Metric{Name: "efficiency without I/O", Paper: s.PaperNoIOEfficiency,
+				Measured: noIOEff, Tol: 0.10})
+		} else {
+			ms = append(ms, Metric{Name: "efficiency without I/O", Measured: noIOEff})
+		}
+		// The paper claims an I/O-induced efficiency gap on Summit only;
+		// on a machine with a faster shared FS the gap can legitimately
+		// vanish, so the consistency flag applies just where the
+		// reference gap is recorded.
+		if s.PaperNoIOEfficiency > 0 && noIOEff <= eff {
 			ms = append(ms, Metric{Name: "I/O costs reduce efficiency (1=yes)", Paper: 1,
 				Measured: 0, Tol: 1e-9})
 		}
@@ -176,8 +237,14 @@ func RenderScalingCurve(s ScalingStudy) string {
 }
 
 func scalingExperiments() []Experiment {
+	return ScalingExperimentsOn(platform.Summit())
+}
+
+// ScalingExperimentsOn wraps each §IV-B study on the given platform as a
+// runnable Experiment.
+func ScalingExperimentsOn(p platform.Platform) []Experiment {
 	var out []Experiment
-	for _, s := range ScalingStudies() {
+	for _, s := range ScalingStudiesOn(p) {
 		s := s
 		out = append(out, Experiment{
 			ID:         s.ID,

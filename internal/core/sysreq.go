@@ -4,16 +4,41 @@ import (
 	"fmt"
 	"strings"
 
-	"summitscale/internal/machine"
 	"summitscale/internal/models"
-	"summitscale/internal/netsim"
 	"summitscale/internal/perf"
+	"summitscale/internal/platform"
 	"summitscale/internal/storage"
 	"summitscale/internal/units"
 )
 
 func sysreqExperiments() []Experiment {
-	return []Experiment{ioExperiment(), commExperiment(), rooflineExperiment()}
+	return SysreqExperimentsOn(platform.Summit())
+}
+
+// SysreqExperimentsOn returns the §VI-B system-requirement analyses (I/O,
+// communication, device roofline) evaluated on the given platform. On the
+// paper's baseline the experiments carry the paper's reference values and
+// render byte-identically to the seed report (locked by the golden
+// tests); on other platforms the same analyses run with informational
+// metrics, since the paper reports Summit numbers only.
+func SysreqExperimentsOn(p platform.Platform) []Experiment {
+	return []Experiment{ioExperiment(p), commExperiment(p), rooflineExperiment(p)}
+}
+
+// refMetric keeps the paper reference on the baseline platform and
+// downgrades the metric to informational elsewhere.
+func refMetric(ref bool, m Metric) Metric {
+	if !ref {
+		m.Paper, m.Tol = 0, 0
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // rooflineExperiment reproduces §VI-B's device-level claim: AI/ML
@@ -21,16 +46,18 @@ func sysreqExperiments() []Experiment {
 // multiplication, are "typically computational bound at the device
 // level" for the matrix-like kernels, and "high floating point rates for
 // model training require large matrix sizes".
-func rooflineExperiment() Experiment {
+func rooflineExperiment(p platform.Platform) Experiment {
+	ref := p.IsPaperBaseline()
+	fam := p.Node.GPU.Family()
 	return Experiment{
 		ID:         "R1",
-		Title:      "§VI-B roofline — the three basic operation classes on a V100",
+		Title:      fmt.Sprintf("§VI-B roofline — the three basic operation classes on a %s", fam),
 		PaperClaim: "conv/matmul compute-bound at training sizes; recurrent/elementwise memory-bound; high rates need large matrices",
 		Run: func() Result {
-			r := perf.V100Roofline()
+			r := p.Roofline()
 			var b strings.Builder
-			fmt.Fprintf(&b, "V100 tensor roofline: peak %v, HBM %v, ridge %.0f flops/byte\n",
-				r.Peak, units.BytesPerSecond(r.MemBW), r.RidgeIntensity())
+			fmt.Fprintf(&b, "%s tensor roofline: peak %v, HBM %v, ridge %.0f flops/byte\n",
+				fam, r.Peak, units.BytesPerSecond(r.MemBW), r.RidgeIntensity())
 			b.WriteString("  kernel            intensity   attainable\n")
 			type k struct {
 				name string
@@ -52,11 +79,11 @@ func rooflineExperiment() Experiment {
 			smallMatmul := r.ComputeBound(perf.KernelIntensity("matmul", 64))
 			return Result{
 				Metrics: []Metric{
-					{Name: "ridge intensity", Paper: 125e12 / 900e9, Measured: r.RidgeIntensity(), Unit: "flop/B", Tol: 0.01},
-					{Name: "large matmul compute-bound (1=yes)", Paper: 1, Measured: boolMetric(bigMatmul), Tol: 1e-9},
-					{Name: "large conv compute-bound (1=yes)", Paper: 1, Measured: boolMetric(conv), Tol: 1e-9},
-					{Name: "recurrent memory-bound (1=yes)", Paper: 1, Measured: boolMetric(!recurrent), Tol: 1e-9},
-					{Name: "small matmul memory-bound (1=yes)", Paper: 1, Measured: boolMetric(!smallMatmul), Tol: 1e-9},
+					refMetric(ref, Metric{Name: "ridge intensity", Paper: 125e12 / 900e9, Measured: r.RidgeIntensity(), Unit: "flop/B", Tol: 0.01}),
+					refMetric(ref, Metric{Name: "large matmul compute-bound (1=yes)", Paper: 1, Measured: boolMetric(bigMatmul), Tol: 1e-9}),
+					refMetric(ref, Metric{Name: "large conv compute-bound (1=yes)", Paper: 1, Measured: boolMetric(conv), Tol: 1e-9}),
+					refMetric(ref, Metric{Name: "recurrent memory-bound (1=yes)", Paper: 1, Measured: boolMetric(!recurrent), Tol: 1e-9}),
+					refMetric(ref, Metric{Name: "small matmul memory-bound (1=yes)", Paper: 1, Measured: boolMetric(!smallMatmul), Tol: 1e-9}),
 				},
 				Detail: b.String(),
 			}
@@ -66,50 +93,64 @@ func rooflineExperiment() Experiment {
 
 // ioExperiment reproduces §VI-B's I/O analysis: full-Summit data-parallel
 // ResNet-50 needs ~20 TB/s aggregate read bandwidth; GPFS (2.5 TB/s)
-// cannot sustain it; node-local NVMe (>27 TB/s) can.
-func ioExperiment() Experiment {
+// cannot sustain it; node-local NVMe (>27 TB/s) can. On other platforms
+// the same requirement is weighed against that machine's storage paths.
+func ioExperiment(p platform.Platform) Experiment {
+	ref := p.IsPaperBaseline()
+	claim := "ResNet-50 needs ~20 TB/s; GPFS provides 2.5 TB/s; NVMe aggregate exceeds 27 TB/s"
+	if !ref {
+		claim = fmt.Sprintf("§VI-B I/O analysis replayed on %s (no paper reference values)", p.Name)
+	}
 	return Experiment{
 		ID:         "IO1",
-		Title:      "§VI-B I/O — training input bandwidth on full Summit",
-		PaperClaim: "ResNet-50 needs ~20 TB/s; GPFS provides 2.5 TB/s; NVMe aggregate exceeds 27 TB/s",
+		Title:      fmt.Sprintf("§VI-B I/O — training input bandwidth on full %s", p.Name),
+		PaperClaim: claim,
 		Run: func() Result {
-			summit := machine.Summit()
+			mach := p.Machine
 			m := models.ResNet50()
-			req := storage.TrainingReadRequirement(summit.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes)
-			gpfs := storage.NewGPFS()
-			nvme := storage.NewNVMe()
-			gpfsBW := gpfs.ReadBW(summit.Nodes)
-			nvmeBW := nvme.ReadBW(summit.Nodes)
-			_, gpfsFrac := storage.Sustains(gpfs, summit.Nodes, req)
-			okNVMe, _ := storage.Sustains(nvme, summit.Nodes, req)
+			req := storage.TrainingReadRequirement(mach.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes)
+			gpfs := p.GPFS()
+			gpfsBW := gpfs.ReadBW(mach.Nodes)
+			_, gpfsFrac := storage.Sustains(gpfs, mach.Nodes, req)
 
 			var b strings.Builder
-			b.WriteString("Training input requirement vs. available bandwidth (full Summit):\n")
+			fmt.Fprintf(&b, "Training input requirement vs. available bandwidth (full %s):\n", mach.Name)
 			fmt.Fprintf(&b, "  required (ResNet-50, %d GPUs x %.0f samples/s x %v): %v\n",
-				summit.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes, req)
+				mach.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes, req)
 			fmt.Fprintf(&b, "  GPFS aggregate read:  %v  -> sustains %.0f%% of need\n", gpfsBW, 100*gpfsFrac)
-			fmt.Fprintf(&b, "  NVMe aggregate read:  %v  -> sustains training: %v\n", nvmeBW, okNVMe)
-			stager := storage.NewStager()
-			for _, ds := range []units.Bytes{10 * units.TB, 200 * units.TB} {
-				plan, err := stager.PlanFor(ds, summit.Nodes)
-				if err != nil {
-					fmt.Fprintf(&b, "  staging %v: %v\n", ds, err)
-					continue
+
+			ms := []Metric{
+				refMetric(ref, Metric{Name: "required aggregate read bw", Paper: 20e12, Measured: float64(req), Unit: "B/s", Tol: 0.1}),
+				refMetric(ref, Metric{Name: "GPFS aggregate read bw", Paper: 2.5e12, Measured: float64(gpfsBW), Unit: "B/s", Tol: 0.01}),
+			}
+			if p.HasNodeLocal() {
+				nvme := p.NVMe()
+				nvmeBW := nvme.ReadBW(mach.Nodes)
+				okNVMe, _ := storage.Sustains(nvme, mach.Nodes, req)
+				fmt.Fprintf(&b, "  NVMe aggregate read:  %v  -> sustains training: %v\n", nvmeBW, okNVMe)
+				stager := p.Stager()
+				for _, ds := range []units.Bytes{10 * units.TB, 200 * units.TB} {
+					plan, err := stager.PlanFor(ds, mach.Nodes)
+					if err != nil {
+						fmt.Fprintf(&b, "  staging %v: %v\n", ds, err)
+						continue
+					}
+					fmt.Fprintf(&b, "  staging %v (plan %d): %v, per-epoch shuffle %v\n",
+						ds, plan, stager.StagingTime(ds, mach.Nodes, plan),
+						stager.EpochShuffleTime(ds, mach.Nodes, plan))
 				}
-				fmt.Fprintf(&b, "  staging %v (plan %d): %v, per-epoch shuffle %v\n",
-					ds, plan, stager.StagingTime(ds, summit.Nodes, plan),
-					stager.EpochShuffleTime(ds, summit.Nodes, plan))
+				ms = append(ms,
+					refMetric(ref, Metric{Name: "NVMe aggregate read bw", Paper: 27e12, Measured: float64(nvmeBW), Unit: "B/s", Tol: 0.05}),
+					refMetric(ref, Metric{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9}),
+					refMetric(ref, Metric{Name: "NVMe sustains (1=yes)", Paper: 1, Measured: boolMetric(okNVMe), Tol: 1e-9}),
+				)
+			} else {
+				b.WriteString("  no node-local storage on this machine; the shared FS is the only input path\n")
+				ms = append(ms,
+					refMetric(ref, Metric{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9}),
+				)
 			}
-			return Result{
-				Metrics: []Metric{
-					{Name: "required aggregate read bw", Paper: 20e12, Measured: float64(req), Unit: "B/s", Tol: 0.1},
-					{Name: "GPFS aggregate read bw", Paper: 2.5e12, Measured: float64(gpfsBW), Unit: "B/s", Tol: 0.01},
-					{Name: "NVMe aggregate read bw", Paper: 27e12, Measured: float64(nvmeBW), Unit: "B/s", Tol: 0.05},
-					{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9},
-					{Name: "NVMe sustains (1=yes)", Paper: 1, Measured: boolMetric(okNVMe), Tol: 1e-9},
-				},
-				Detail: b.String(),
-			}
+			return Result{Metrics: ms, Detail: b.String()}
 		},
 	}
 }
@@ -118,42 +159,55 @@ func ioExperiment() Experiment {
 // ~100 MB allreduce takes ~8 ms at 12.5 GB/s algorithm bandwidth and hides
 // under computation; BERT-large's ~1.4 GB takes ~110 ms, comparable to its
 // per-batch compute, so larger models become communication-bound.
-func commExperiment() Experiment {
+func commExperiment(p platform.Platform) Experiment {
+	ref := p.IsPaperBaseline()
+	claim := "ring algorithm bw 12.5 GB/s; ResNet-50 ~8 ms, BERT-large ~110 ms; BERT-large is the data-parallel crossover"
+	if !ref {
+		claim = fmt.Sprintf("§VI-B communication analysis replayed on %s", p.Name)
+	}
 	return Experiment{
 		ID:         "C1",
 		Title:      "§VI-B communication — allreduce cost vs model size",
-		PaperClaim: "ring algorithm bw 12.5 GB/s; ResNet-50 ~8 ms, BERT-large ~110 ms; BERT-large is the data-parallel crossover",
+		PaperClaim: claim,
 		Run: func() Result {
-			f := netsim.SummitFabric()
-			summit := machine.Summit()
+			f := p.Fabric()
+			mach := p.Machine
 			resnet := models.ResNet50()
 			bert := models.BERTLarge()
-			tRes := f.RingAllReduce(summit.Nodes, resnet.GradientBytes())
-			tBert := f.RingAllReduce(4032, bert.GradientBytes())
-			algoBW := f.RingAlgorithmBW(summit.Nodes, units.Bytes(1*units.GB))
+			bertNodes := minInt(4032, mach.Nodes)
+			selNodes := minInt(4096, mach.Nodes)
+			tRes := f.RingAllReduce(mach.Nodes, resnet.GradientBytes())
+			tBert := f.RingAllReduce(bertNodes, bert.GradientBytes())
+			algoBW := f.RingAlgorithmBW(mach.Nodes, units.Bytes(1*units.GB))
 			bertCompute := bert.StepComputeTime()
 
 			var b strings.Builder
-			b.WriteString("Ring allreduce on Summit fabric (per-device gradients):\n")
+			fmt.Fprintf(&b, "Ring allreduce on %s fabric (per-device gradients):\n", mach.Name)
 			fmt.Fprintf(&b, "  algorithm bandwidth (large msgs): %v\n", algoBW)
 			fmt.Fprintf(&b, "  %-12s %10v gradient -> %v\n", resnet.Name, resnet.GradientBytes(), tRes)
 			fmt.Fprintf(&b, "  %-12s %10v gradient -> %v (per-batch compute %v)\n",
 				bert.Name, bert.GradientBytes(), tBert, bertCompute)
-			b.WriteString("  allreduce algorithm selection by message size (4096 nodes):\n")
+			fmt.Fprintf(&b, "  allreduce algorithm selection by message size (%d nodes):\n", selNodes)
 			for _, sz := range []units.Bytes{1 * units.KB, 1 * units.MB, 100 * units.MB, 1.4 * units.GB} {
-				algo, t := f.BestAllReduce(4096, sz)
+				algo, t := f.BestAllReduce(selNodes, sz)
 				fmt.Fprintf(&b, "    %10v -> %-18s %v\n", sz, algo, t)
 			}
-			return Result{
-				Metrics: []Metric{
-					{Name: "ring algorithm bandwidth", Paper: 12.5e9, Measured: float64(algoBW), Unit: "B/s", Tol: 0.1},
-					{Name: "ResNet-50 allreduce time", Paper: 0.008, Measured: float64(tRes), Unit: "s", Tol: 0.25},
-					{Name: "BERT-large allreduce time", Paper: 0.110, Measured: float64(tBert), Unit: "s", Tol: 0.15},
-					{Name: "BERT comm comparable to compute (1=yes)", Paper: 1,
-						Measured: boolMetric(float64(tBert) > 0.5*float64(bertCompute)), Tol: 1e-9},
-				},
-				Detail: b.String(),
+			ms := []Metric{
+				refMetric(ref, Metric{Name: "ring algorithm bandwidth", Paper: 12.5e9, Measured: float64(algoBW), Unit: "B/s", Tol: 0.1}),
+				refMetric(ref, Metric{Name: "ResNet-50 allreduce time", Paper: 0.008, Measured: float64(tRes), Unit: "s", Tol: 0.25}),
+				refMetric(ref, Metric{Name: "BERT-large allreduce time", Paper: 0.110, Measured: float64(tBert), Unit: "s", Tol: 0.15}),
+				refMetric(ref, Metric{Name: "BERT comm comparable to compute (1=yes)", Paper: 1,
+					Measured: boolMetric(float64(tBert) > 0.5*float64(bertCompute)), Tol: 1e-9}),
 			}
+			if !ref {
+				// The baseline report is byte-frozen by the golden tests, so
+				// the explicit crossover point is surfaced only on the other
+				// machines, where it is the headline difference.
+				cross := f.RingTreeCrossover(selNodes)
+				fmt.Fprintf(&b, "  ring/recursive-doubling crossover at %d nodes: %v\n", selNodes, cross)
+				ms = append(ms, Metric{Name: "ring/doubling crossover message size", Measured: float64(cross), Unit: "B"})
+			}
+			return Result{Metrics: ms, Detail: b.String()}
 		},
 	}
 }

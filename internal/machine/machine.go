@@ -10,7 +10,11 @@
 // throughput per GPU (over 3 AI-ExaOps across the system).
 package machine
 
-import "summitscale/internal/units"
+import (
+	"strings"
+
+	"summitscale/internal/units"
+)
 
 // GPU describes an accelerator.
 type GPU struct {
@@ -21,6 +25,16 @@ type GPU struct {
 	PeakTensor units.FlopsPerSecond // mixed-precision tensor cores
 	HBM        units.Bytes
 	HBMBW      units.BytesPerSecond
+}
+
+// Family returns the GPU's family name — the part before the first dash
+// ("V100-16GB" -> "V100") — for prose that names the device generation
+// rather than one SKU.
+func (g GPU) Family() string {
+	if i := strings.IndexByte(g.Name, '-'); i > 0 {
+		return g.Name[:i]
+	}
+	return g.Name
 }
 
 // V100 is the NVIDIA Tesla V100 (16 GB) in Summit's original nodes.
@@ -115,6 +129,14 @@ type Machine struct {
 	RingAllreduceBW units.BytesPerSecond
 	// NetworkLatency is the per-message small-message latency.
 	NetworkLatency units.Seconds
+	// CollectiveAlpha is the effective per-hop latency of pipelined
+	// collectives on this fabric. Production allreduces pipeline
+	// sub-chunks and run one ring per local rank, so it sits far below
+	// the raw point-to-point NetworkLatency (see netsim.SummitFabric).
+	CollectiveAlpha units.Seconds
+	// Rails is the number of independent injection rails (NICs) usable
+	// as concurrent inter-node rings by a hierarchical allreduce.
+	Rails int
 }
 
 // Summit returns the full Summit description.
@@ -128,6 +150,8 @@ func Summit() Machine {
 		FS:              Alpine(),
 		RingAllreduceBW: 12.5 * units.GBps,
 		NetworkLatency:  1.5e-6,
+		CollectiveAlpha: 1e-7,
+		Rails:           2,
 	}
 }
 

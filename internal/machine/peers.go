@@ -1,0 +1,109 @@
+// Peer leadership systems the cross-machine studies compare against
+// Summit. The entries are *-like calibrations from published system
+// descriptions — Frontier from the OLCF system documentation, JUWELS
+// Booster from Kesselheim et al. (JUWELS Booster — A Supercomputer for
+// Large-Scale AI Research) — accurate at the aggregate-rate level the
+// §IV-B / §VI-B analyses consume, not audited vendor datasheets.
+package machine
+
+import "summitscale/internal/units"
+
+// MI250XGCD is one Graphics Compute Die of the AMD Instinct MI250X in
+// Frontier's nodes. Software sees each GCD as one GPU, so the node's four
+// MI250X packages present eight devices.
+func MI250XGCD() GPU {
+	return GPU{
+		Name:       "MI250X-GCD",
+		PeakFP64:   23.9 * units.TFlops, // half of the package's 47.9 TF/s vector FP64
+		PeakFP32:   23.9 * units.TFlops,
+		PeakTensor: 191.5 * units.TFlops, // half of 383 TF/s FP16 matrix
+		HBM:        64 * units.GB,
+		HBMBW:      1.6 * units.TBps,
+	}
+}
+
+// FrontierNode is the HPE Cray EX235a node: 1 EPYC CPU, 4 MI250X (8 GCDs),
+// four Slingshot-11 NICs at 25 GB/s each.
+func FrontierNode() Node {
+	return Node{
+		Name:        "EX235a",
+		GPUs:        8, // GCDs
+		GPU:         MI250XGCD(),
+		CPUCores:    56, // 64-core EPYC minus low-noise-mode reserved cores
+		DDR:         512 * units.GB,
+		NVMe:        3840 * units.GB, // 2x 1.92 TB node-local drives
+		NVMeReadBW:  8 * units.GBps,
+		NVMeWriteBW: 4 * units.GBps,
+		InjectionBW: 100 * units.GBps, // 4 rails x 25 GB/s
+		NVLinkBW:    50 * units.GBps,  // Infinity Fabric GPU-GPU link
+	}
+}
+
+// Orion is Frontier's center-wide Lustre file system (aggregate rates
+// approximate: ~10 TB/s read, ~5 TB/s write at acceptance).
+func Orion() SharedFS {
+	return SharedFS{Name: "Orion-Lustre", ReadBW: 10 * units.TBps, WriteBW: 5 * units.TBps}
+}
+
+// Frontier returns a Frontier-like system description.
+func Frontier() Machine {
+	return Machine{
+		Name:            "Frontier",
+		Nodes:           9408,
+		Node:            FrontierNode(),
+		FS:              Orion(),
+		RingAllreduceBW: 50 * units.GBps, // half of 100 GB/s injection
+		NetworkLatency:  2e-6,
+		CollectiveAlpha: 1e-7,
+		Rails:           4,
+	}
+}
+
+// A100SXM40 is the NVIDIA A100-SXM4 (40 GB) in JUWELS Booster's nodes.
+func A100SXM40() GPU {
+	return GPU{
+		Name:       "A100-40GB",
+		PeakFP64:   9.7 * units.TFlops,
+		PeakFP32:   19.5 * units.TFlops,
+		PeakTensor: 312 * units.TFlops,
+		HBM:        40 * units.GB,
+		HBMBW:      1555 * units.GBps,
+	}
+}
+
+// JUWELSBoosterNode is the Atos Sequana XH2000 Booster node: 2 EPYC Rome
+// CPUs, 4 A100s on an NVLink3 all-to-all, four HDR200 InfiniBand rails.
+// Nodes are diskless — there is no node-local burst buffer, so all input
+// traffic goes to the shared file system.
+func JUWELSBoosterNode() Node {
+	return Node{
+		Name:        "XH2000-Booster",
+		GPUs:        4,
+		GPU:         A100SXM40(),
+		CPUCores:    48,
+		DDR:         512 * units.GB,
+		InjectionBW: 100 * units.GBps, // 4 rails x HDR200 (25 GB/s)
+		NVLinkBW:    100 * units.GBps, // NVLink3 pairwise (2 links per pair)
+	}
+}
+
+// JUST is the Jülich storage cluster serving JUWELS (aggregate rates
+// approximate: ~0.4 TB/s read).
+func JUST() SharedFS {
+	return SharedFS{Name: "JUST-GPFS", ReadBW: 400 * units.GBps, WriteBW: 300 * units.GBps}
+}
+
+// JUWELSBooster returns a JUWELS-Booster-like system description
+// (Kesselheim et al.).
+func JUWELSBooster() Machine {
+	return Machine{
+		Name:            "JUWELS-Booster",
+		Nodes:           936,
+		Node:            JUWELSBoosterNode(),
+		FS:              JUST(),
+		RingAllreduceBW: 50 * units.GBps,
+		NetworkLatency:  1.5e-6,
+		CollectiveAlpha: 1e-7,
+		Rails:           4,
+	}
+}

@@ -1,0 +1,85 @@
+package netsim_test
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/mp"
+	"summitscale/internal/netsim"
+	"summitscale/internal/units"
+)
+
+// The analytic α–β models in netsim assume specific aggregate wire
+// volumes (ring allreduce: 2(p-1)·n bytes; hierarchical: intra islands
+// plus a leader ring). The mp package actually moves bytes between
+// goroutine ranks and counts them. These tests pin the two model layers
+// together: the volume netsim charges time for must be the volume the
+// executable collectives transmit.
+
+// unitFabric has α=0 and β=1 B/s, so RingAllReduce returns the per-node
+// wire bytes as seconds; multiplying by the participant count yields the
+// aggregate volume the analytic model assumes.
+func unitFabric() netsim.Fabric { return netsim.NewFabric(0, 1) }
+
+func TestRingAllReduceBytesMatchAnalytic(t *testing.T) {
+	const elems = 240 // divisible by every world size below
+	nb := units.Bytes(8 * elems)
+	for _, p := range []int{2, 3, 4, 6, 8} {
+		w := mp.NewWorld(p)
+		w.Run(func(c *mp.Comm) {
+			data := make([]float64, elems)
+			for i := range data {
+				data[i] = float64(c.Rank() + 1)
+			}
+			c.AllReduceRing(data)
+		})
+		measured := float64(w.BytesSent())
+		assumed := float64(p) * float64(unitFabric().RingAllReduce(p, nb))
+		if relErr(measured, assumed) > 0.01 {
+			t.Errorf("p=%d: ring allreduce moved %.0f bytes, analytic model assumes %.0f",
+				p, measured, assumed)
+		}
+	}
+}
+
+func TestHierarchicalAllReduceBytesMatchAnalytic(t *testing.T) {
+	const elems = 240
+	nb := units.Bytes(8 * elems)
+	for _, cfg := range []struct{ groups, groupSize int }{
+		{2, 2}, {3, 4}, {4, 6}, {2, 6},
+	} {
+		leaders, g := cfg.groups, cfg.groupSize
+		p := leaders * g
+		w := mp.NewWorld(p)
+		w.Run(func(c *mp.Comm) {
+			data := make([]float64, elems)
+			for i := range data {
+				data[i] = 1
+			}
+			c.AllReduceHierarchical(data, g)
+		})
+		measured := float64(w.BytesSent())
+
+		// Derive the assumed aggregate volume from the analytic model at
+		// unit bandwidths: AllReduce(1, n) isolates the intra-island term
+		// (per GPU), and the remainder at `leaders` nodes is the
+		// inter-island ring term (per leader).
+		h := netsim.HierarchicalFabric{
+			Inter: unitFabric(), NVLinkBW: 1, GPUsPerNode: g, Rails: 1,
+		}
+		intraPerGPU := float64(h.AllReduce(1, nb))
+		interPerLeader := float64(h.AllReduce(leaders, nb)) - intraPerGPU
+		assumed := float64(p)*intraPerGPU + float64(leaders)*interPerLeader
+		if relErr(measured, assumed) > 0.01 {
+			t.Errorf("%d islands x %d GPUs: hierarchical allreduce moved %.0f bytes, analytic model assumes %.0f",
+				leaders, g, measured, assumed)
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

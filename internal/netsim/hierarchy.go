@@ -19,16 +19,26 @@ type HierarchicalFabric struct {
 	Rails int
 }
 
+// HierarchicalFabricFor returns the two-level reduction path of a machine
+// description: NVLink island of the node's GPUs, inter-node rings over
+// the machine's rails.
+func HierarchicalFabricFor(m machine.Machine) HierarchicalFabric {
+	rails := m.Rails
+	if rails < 1 {
+		rails = 1
+	}
+	return HierarchicalFabric{
+		Inter:       FabricFor(m),
+		NVLinkBW:    m.Node.NVLinkBW,
+		GPUsPerNode: m.Node.GPUs,
+		Rails:       rails,
+	}
+}
+
 // SummitHierarchicalFabric returns Summit's parameters: 6 GPUs per node,
 // 50 GB/s NVLink, dual-rail EDR.
 func SummitHierarchicalFabric() HierarchicalFabric {
-	node := machine.SummitNode()
-	return HierarchicalFabric{
-		Inter:       SummitFabric(),
-		NVLinkBW:    node.NVLinkBW,
-		GPUsPerNode: node.GPUs,
-		Rails:       2,
-	}
+	return HierarchicalFabricFor(machine.Summit())
 }
 
 // AllReduce returns the time for a hierarchical allreduce of n bytes per

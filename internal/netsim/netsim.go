@@ -7,6 +7,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 
 	"summitscale/internal/machine"
@@ -21,6 +22,25 @@ type Fabric struct {
 	Beta  units.BytesPerSecond
 }
 
+// NewFabric validates and returns an α–β fabric. Beta must be positive
+// and Alpha non-negative: a zero or negative bandwidth would silently
+// turn every collective estimate into Inf/NaN seconds.
+func NewFabric(alpha units.Seconds, beta units.BytesPerSecond) Fabric {
+	if !(beta > 0) {
+		panic(fmt.Sprintf("netsim: injection bandwidth must be positive, got %v", float64(beta)))
+	}
+	if !(alpha >= 0) {
+		panic(fmt.Sprintf("netsim: fabric latency must be non-negative, got %v", float64(alpha)))
+	}
+	return Fabric{Alpha: alpha, Beta: beta}
+}
+
+// FabricFor returns the α–β fabric of a machine description: the node's
+// injection bandwidth and the machine's effective collective latency.
+func FabricFor(m machine.Machine) Fabric {
+	return NewFabric(m.CollectiveAlpha, m.Node.InjectionBW)
+}
+
 // SummitFabric returns Summit's dual-rail EDR parameters (25 GB/s
 // injection, so 12.5 GB/s ring algorithm bandwidth). Alpha is the
 // *effective* per-hop collective latency: production ring allreduces
@@ -30,8 +50,7 @@ type Fabric struct {
 // estimates (8 ms / 110 ms) while keeping a nonzero latency regime for
 // small messages.
 func SummitFabric() Fabric {
-	m := machine.Summit()
-	return Fabric{Alpha: 1e-7, Beta: m.Node.InjectionBW}
+	return FabricFor(machine.Summit())
 }
 
 // PointToPoint returns the time to move n bytes between two nodes.

@@ -59,17 +59,22 @@ type Job struct {
 	FixedOverhead units.Seconds
 }
 
-// SummitJob fills machine defaults for a job on Summit.
-func SummitJob(m models.ModelSpec, nodes int) Job {
-	node := machine.SummitNode()
+// JobOn fills machine defaults for a job on the given system: GPUs per
+// node, inter-node fabric, and intra-node NVLink bandwidth.
+func JobOn(mach machine.Machine, m models.ModelSpec, nodes int) Job {
 	return Job{
 		Model:       m,
 		Nodes:       nodes,
-		GPUsPerNode: node.GPUs,
-		Fabric:      netsim.SummitFabric(),
-		NVLinkBW:    node.NVLinkBW,
+		GPUsPerNode: mach.Node.GPUs,
+		Fabric:      netsim.FabricFor(mach),
+		NVLinkBW:    mach.Node.NVLinkBW,
 		AccumSteps:  1,
 	}
+}
+
+// SummitJob fills machine defaults for a job on Summit.
+func SummitJob(m models.ModelSpec, nodes int) Job {
+	return JobOn(machine.Summit(), m, nodes)
 }
 
 // Breakdown itemizes one step's time.

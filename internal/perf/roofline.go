@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"fmt"
+
 	"summitscale/internal/machine"
 	"summitscale/internal/units"
 )
@@ -14,10 +16,19 @@ type Roofline struct {
 	MemBW units.BytesPerSecond
 }
 
+// RooflineFor returns the mixed-precision tensor roofline of a GPU. It
+// panics when the device lacks a positive peak rate or memory bandwidth.
+func RooflineFor(g machine.GPU) Roofline {
+	if !(g.PeakTensor > 0) || !(g.HBMBW > 0) {
+		panic(fmt.Sprintf("perf: GPU %s needs positive tensor peak and HBM bandwidth (got %v, %v)",
+			g.Name, float64(g.PeakTensor), float64(g.HBMBW)))
+	}
+	return Roofline{Peak: g.PeakTensor, MemBW: g.HBMBW}
+}
+
 // V100Roofline returns the tensor-core roofline of Summit's GPU.
 func V100Roofline() Roofline {
-	g := machine.V100()
-	return Roofline{Peak: g.PeakTensor, MemBW: g.HBMBW}
+	return RooflineFor(machine.V100())
 }
 
 // Attainable returns the achievable rate at the given arithmetic

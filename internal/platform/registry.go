@@ -1,0 +1,223 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"summitscale/internal/machine"
+	"summitscale/internal/units"
+)
+
+// Summit returns the paper's baseline platform.
+func Summit() Platform { return Platform{Key: "summit", Machine: machine.Summit()} }
+
+// Frontier returns the Frontier-like platform (see machine.Frontier for
+// calibration notes).
+func Frontier() Platform { return Platform{Key: "frontier", Machine: machine.Frontier()} }
+
+// JUWELSBooster returns the JUWELS-Booster-like platform of Kesselheim
+// et al.
+func JUWELSBooster() Platform {
+	return Platform{Key: "juwels-booster", Machine: machine.JUWELSBooster()}
+}
+
+// Config parameterizes a generic cluster for New. Zero-valued optional
+// fields (CollectiveAlpha, Rails, CPUCores, DDR, NetworkLatency, NVMe*)
+// get conservative defaults; the bandwidth fields are mandatory.
+type Config struct {
+	Name        string
+	Nodes       int
+	GPUsPerNode int
+	GPU         machine.GPU
+	InjectionBW units.BytesPerSecond
+	NVLinkBW    units.BytesPerSecond
+	FSReadBW    units.BytesPerSecond
+	FSWriteBW   units.BytesPerSecond
+	// Node-local storage; all three zero means diskless.
+	NodeNVMe    units.Bytes
+	NVMeReadBW  units.BytesPerSecond
+	NVMeWriteBW units.BytesPerSecond
+
+	CollectiveAlpha units.Seconds
+	Rails           int
+	CPUCores        int
+	DDR             units.Bytes
+	NetworkLatency  units.Seconds
+}
+
+// GenericConfig returns the parameter set behind the registry's "generic"
+// entry — a 512-node, 4-GPU-per-node commodity AI cluster — as a starting
+// point for user-defined machines.
+func GenericConfig() Config {
+	return Config{
+		Name:        "Generic-512",
+		Nodes:       512,
+		GPUsPerNode: 4,
+		GPU: machine.GPU{
+			Name:       "GPU-generic",
+			PeakFP64:   10 * units.TFlops,
+			PeakFP32:   20 * units.TFlops,
+			PeakTensor: 200 * units.TFlops,
+			HBM:        40 * units.GB,
+			HBMBW:      1.5 * units.TBps,
+		},
+		InjectionBW:     50 * units.GBps,
+		NVLinkBW:        50 * units.GBps,
+		FSReadBW:        500 * units.GBps,
+		FSWriteBW:       400 * units.GBps,
+		NodeNVMe:        2000 * units.GB,
+		NVMeReadBW:      6 * units.GBps,
+		NVMeWriteBW:     3 * units.GBps,
+		CollectiveAlpha: 1e-7,
+		Rails:           2,
+		CPUCores:        64,
+		DDR:             512 * units.GB,
+		NetworkLatency:  2e-6,
+	}
+}
+
+// Generic returns the registry's default parameterizable cluster.
+func Generic() Platform {
+	p, err := New("generic", GenericConfig())
+	if err != nil {
+		panic("platform: generic config invalid: " + err.Error())
+	}
+	return p
+}
+
+// New builds a platform from parameters and validates it.
+func New(key string, c Config) (Platform, error) {
+	if c.Rails < 1 {
+		c.Rails = 1
+	}
+	if c.CollectiveAlpha == 0 {
+		c.CollectiveAlpha = 1e-7
+	}
+	if c.NetworkLatency == 0 {
+		c.NetworkLatency = 2e-6
+	}
+	m := machine.Machine{
+		Name:  c.Name,
+		Nodes: c.Nodes,
+		Node: machine.Node{
+			Name:        c.Name + "-node",
+			GPUs:        c.GPUsPerNode,
+			GPU:         c.GPU,
+			CPUCores:    c.CPUCores,
+			DDR:         c.DDR,
+			NVMe:        c.NodeNVMe,
+			NVMeReadBW:  c.NVMeReadBW,
+			NVMeWriteBW: c.NVMeWriteBW,
+			InjectionBW: c.InjectionBW,
+			NVLinkBW:    c.NVLinkBW,
+		},
+		FS:              machine.SharedFS{Name: c.Name + "-fs", ReadBW: c.FSReadBW, WriteBW: c.FSWriteBW},
+		RingAllreduceBW: c.InjectionBW / 2,
+		NetworkLatency:  c.NetworkLatency,
+		CollectiveAlpha: c.CollectiveAlpha,
+		Rails:           c.Rails,
+	}
+	p := Platform{Key: key, Machine: m}
+	if err := Validate(p); err != nil {
+		return Platform{}, err
+	}
+	return p, nil
+}
+
+// Validate checks the invariants every registered platform must hold so
+// the downstream models cannot produce Inf/NaN estimates.
+func Validate(p Platform) error {
+	switch {
+	case p.Key == "":
+		return fmt.Errorf("platform: empty registry key")
+	case p.Name == "":
+		return fmt.Errorf("platform %q: empty machine name", p.Key)
+	case p.Nodes <= 0:
+		return fmt.Errorf("platform %q: node count must be positive, got %d", p.Key, p.Nodes)
+	case !(p.Node.InjectionBW > 0):
+		return fmt.Errorf("platform %q: injection bandwidth must be positive, got %v",
+			p.Key, float64(p.Node.InjectionBW))
+	case !(p.FS.ReadBW > 0):
+		return fmt.Errorf("platform %q: shared-FS read bandwidth must be positive, got %v",
+			p.Key, float64(p.FS.ReadBW))
+	case !(p.CollectiveAlpha >= 0):
+		return fmt.Errorf("platform %q: collective latency must be non-negative, got %v",
+			p.Key, float64(p.CollectiveAlpha))
+	case p.Node.GPUs < 0:
+		return fmt.Errorf("platform %q: GPU count must be non-negative, got %d", p.Key, p.Node.GPUs)
+	case p.Node.GPUs > 0 && !(p.Node.GPU.PeakTensor > 0):
+		return fmt.Errorf("platform %q: GPU %s needs a positive tensor peak", p.Key, p.Node.GPU.Name)
+	case p.Node.GPUs > 1 && !(p.Node.NVLinkBW > 0):
+		return fmt.Errorf("platform %q: multi-GPU node needs positive NVLink bandwidth", p.Key)
+	}
+	return nil
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Platform{
+		"summit":         Summit,
+		"frontier":       Frontier,
+		"juwels-booster": JUWELSBooster,
+		"generic":        Generic,
+	}
+)
+
+// Register adds a platform constructor under the given name (lowercased).
+// It rejects duplicates and constructors whose platform fails Validate.
+func Register(name string, build func() Platform) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" {
+		return fmt.Errorf("platform: empty name")
+	}
+	p := build()
+	p.Key = key
+	if err := Validate(p); err != nil {
+		return err
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[key]; dup {
+		return fmt.Errorf("platform: %q already registered", key)
+	}
+	registry[key] = build
+	return nil
+}
+
+// Lookup resolves a registry name (case-insensitive) to a platform.
+func Lookup(name string) (Platform, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	registryMu.RLock()
+	build, ok := registry[key]
+	registryMu.RUnlock()
+	if !ok {
+		return Platform{}, fmt.Errorf("platform: unknown machine %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	p := build()
+	p.Key = key
+	return p, nil
+}
+
+// MustLookup is Lookup that panics on unknown names.
+func MustLookup(name string) Platform {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the registered platform names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -31,10 +31,22 @@ type GPFS struct {
 	PerNodeCap units.BytesPerSecond
 }
 
+// GPFSFor models the shared file system of a machine description: its
+// aggregate rates, with the node's injection bandwidth as the per-node
+// cap. It panics when the read bandwidth is not positive — a zero or
+// negative rate would silently produce Inf/NaN epoch times.
+func GPFSFor(m machine.Machine) *GPFS {
+	if !(m.FS.ReadBW > 0) {
+		panic(fmt.Sprintf("storage: %s shared-FS read bandwidth must be positive, got %v",
+			m.Name, float64(m.FS.ReadBW)))
+	}
+	return &GPFS{FS: m.FS, PerNodeCap: m.Node.InjectionBW}
+}
+
 // NewGPFS models Summit's Alpine file system. The per-node cap is the
 // node's injection bandwidth.
 func NewGPFS() *GPFS {
-	return &GPFS{FS: machine.Alpine(), PerNodeCap: machine.SummitNode().InjectionBW}
+	return GPFSFor(machine.Summit())
 }
 
 // Name implements Store.
@@ -58,8 +70,20 @@ type NVMe struct {
 	Node machine.Node
 }
 
+// NVMeFor models the node-local burst buffer of the given node. It panics
+// when the node has no drives or non-positive rates (diskless machines
+// like JUWELS Booster have no node-local input path; callers should check
+// before constructing one).
+func NVMeFor(n machine.Node) *NVMe {
+	if !(n.NVMe > 0) || !(n.NVMeReadBW > 0) || !(n.NVMeWriteBW > 0) {
+		panic(fmt.Sprintf("storage: node %s has no usable node-local NVMe (capacity %v, read %v, write %v)",
+			n.Name, float64(n.NVMe), float64(n.NVMeReadBW), float64(n.NVMeWriteBW)))
+	}
+	return &NVMe{Node: n}
+}
+
 // NewNVMe models Summit's node-local drives.
-func NewNVMe() *NVMe { return &NVMe{Node: machine.SummitNode()} }
+func NewNVMe() *NVMe { return NVMeFor(machine.SummitNode()) }
 
 // Name implements Store.
 func (n *NVMe) Name() string { return "node-local NVMe" }
@@ -93,9 +117,20 @@ type Stager struct {
 	ShuffleBW units.BytesPerSecond
 }
 
+// StagerFor builds the staging model of a machine description. The
+// machine must have node-local storage and a positive injection bandwidth
+// for the shuffle exchange.
+func StagerFor(m machine.Machine) *Stager {
+	if !(m.Node.InjectionBW > 0) {
+		panic(fmt.Sprintf("storage: %s injection bandwidth must be positive, got %v",
+			m.Name, float64(m.Node.InjectionBW)))
+	}
+	return &Stager{NVMe: NVMeFor(m.Node), GPFS: GPFSFor(m), ShuffleBW: m.Node.InjectionBW}
+}
+
 // NewStager builds the Summit stager.
 func NewStager() *Stager {
-	return &Stager{NVMe: NewNVMe(), GPFS: NewGPFS(), ShuffleBW: machine.SummitNode().InjectionBW}
+	return StagerFor(machine.Summit())
 }
 
 // PlanFor returns the staging plan that fits: replication when the
