@@ -3,9 +3,21 @@
 
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench repro examples figures clean
+.PHONY: all tier1 build vet test race bench bench-json repro examples figures clean help
 
 all: build vet test
+
+help:
+	@echo "Targets:"
+	@echo "  all        build + vet + test"
+	@echo "  tier1      build + vet + test + race (the CI gate)"
+	@echo "  bench      every benchmark with -benchmem"
+	@echo "  bench-json hot-path benchmarks (RunAll, MDForces, TrainStepAlloc)"
+	@echo "             -> BENCH_hotpath.json via cmd/summit-bench"
+	@echo "  repro      full reproduction report (cmd/summit-repro)"
+	@echo "  examples   run every example once"
+	@echo "  figures    regenerate the paper figures as SVG"
+	@echo "  clean      remove generated figures"
 
 # Tier-1 gate: what CI (and the growth driver) holds the repo to.
 tier1: build vet test race
@@ -24,6 +36,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path numbers as JSON: the sequential-vs-parallel experiment engine,
+# the sharded MD force kernel, and the training-step allocation pair.
+bench-json:
+	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... \
+		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
+	@echo "wrote BENCH_hotpath.json"
 
 # Full reproduction report: every table/figure/study, paper vs measured.
 repro:

@@ -86,6 +86,27 @@ func BenchmarkWorkflowMaterials(b *testing.B) { benchExperiment(b, "W1") }
 func BenchmarkWorkflowBiology(b *testing.B)   { benchExperiment(b, "W2") }
 func BenchmarkWorkflowDrug(b *testing.B)      { benchExperiment(b, "W3") }
 
+// Hot-path pair: the full experiment suite through the sequential engine
+// versus the parallel one. RunAllParallel renders the byte-identical report
+// either way, so the pair isolates the scheduling win (a wash at one core,
+// approaching the worker count as cores grow).
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		report, pass := core.RunAllParallel(workers)
+		if !pass {
+			b.Fatal("experiment suite failed")
+		}
+		if len(report) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, 0) } // 0 = GOMAXPROCS
+
 // Cross-platform sweep: the Kurth et al. climate study (S1) replayed on
 // every registered machine. One iteration evaluates the full study on one
 // platform; the first iteration logs the per-machine efficiency so

@@ -8,18 +8,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"summitscale/internal/core"
 )
 
 func main() {
 	md := flag.Bool("md", false, "emit a markdown paper-vs-measured table instead of the full report")
+	jobs := flag.Int("j", runtime.NumCPU(), "experiment workers; 1 runs the plain sequential path (output is byte-identical either way)")
 	flag.Parse()
 	if *md {
 		fmt.Print(core.RenderMarkdown())
 		return
 	}
-	report, pass := core.RunAll()
+	report, pass := core.RunAllParallel(*jobs)
 	fmt.Print(report)
 	if !pass {
 		fmt.Fprintln(os.Stderr, "summit-repro: one or more metrics deviate from the paper")

@@ -66,6 +66,19 @@ func (v *Value) accum(g *tensor.Tensor) {
 	v.Grad.AddInPlace(g)
 }
 
+// accumScaled adds s*g into v.Grad without materializing the scaled tensor
+// — the fused form the backward hot paths use instead of accum(g.Scale(s)).
+func (v *Value) accumScaled(g *tensor.Tensor, s float64) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g.Scale(s)
+		return
+	}
+	v.Grad.AddScaledInPlace(g, s)
+}
+
 // Backward seeds v's gradient with ones (or seed if non-nil) and propagates
 // through the graph in reverse topological order.
 func (v *Value) Backward(seed *tensor.Tensor) {
@@ -118,7 +131,7 @@ func Sub(a, b *Value) *Value {
 	n := newNode(a.Data.Sub(b.Data), a, b)
 	n.backward = func() {
 		a.accum(n.Grad)
-		b.accum(n.Grad.Scale(-1))
+		b.accumScaled(n.Grad, -1)
 	}
 	return n
 }
@@ -136,7 +149,7 @@ func Mul(a, b *Value) *Value {
 // Scale returns a * s for scalar s.
 func Scale(a *Value, s float64) *Value {
 	n := newNode(a.Data.Scale(s), a)
-	n.backward = func() { a.accum(n.Grad.Scale(s)) }
+	n.backward = func() { a.accumScaled(n.Grad, s) }
 	return n
 }
 
@@ -260,7 +273,7 @@ func Exp(a *Value) *Value {
 // Square returns x*x elementwise.
 func Square(a *Value) *Value {
 	n := newNode(a.Data.Mul(a.Data), a)
-	n.backward = func() { a.accum(n.Grad.Mul(a.Data.Scale(2))) }
+	n.backward = func() { a.accumScaled(n.Grad.Mul(a.Data), 2) }
 	return n
 }
 
@@ -283,13 +296,35 @@ func Mean(a *Value) *Value {
 	return n
 }
 
+// ConvScratch owns a convolution node's reusable buffers: the forward
+// im2col unfold and the backward re-unfold. One scratch belongs to one
+// layer (or other single-threaded call site); the backward buffer is
+// written and consumed inside a single backward closure, so interleaved
+// forward/backward sequences over the same layer stay correct.
+type ConvScratch struct {
+	fwd, bwd tensor.ConvScratch
+}
+
 // Conv2D convolves NCHW input a with FCHW kernel and optional bias.
 func Conv2D(a, kernel, bias *Value, opts tensor.Conv2DOpts) *Value {
+	return Conv2DScratch(a, kernel, bias, opts, nil)
+}
+
+// Conv2DScratch is Conv2D with layer-owned buffer reuse: the im2col
+// matrices for forward and backward are allocated once per geometry and
+// reused across calls instead of churning per step. A nil scratch behaves
+// exactly like Conv2D.
+func Conv2DScratch(a, kernel, bias *Value, opts tensor.Conv2DOpts, scratch *ConvScratch) *Value {
 	var bt *tensor.Tensor
 	if bias != nil {
 		bt = bias.Data
 	}
-	out := tensor.Conv2D(a.Data, kernel.Data, bt, opts)
+	var out *tensor.Tensor
+	if scratch != nil {
+		out = tensor.Conv2DScratch(a.Data, kernel.Data, bt, opts, &scratch.fwd)
+	} else {
+		out = tensor.Conv2D(a.Data, kernel.Data, bt, opts)
+	}
 	parents := []*Value{a, kernel}
 	if bias != nil {
 		parents = append(parents, bias)
@@ -312,7 +347,13 @@ func Conv2D(a, kernel, bias *Value, opts tensor.Conv2DOpts) *Value {
 				}
 			}
 		}
-		cols := tensor.Im2Col(a.Data, kh, kw, opts) // (N*OH*OW, C*KH*KW)
+		var cols *tensor.Tensor // (N*OH*OW, C*KH*KW)
+		if scratch != nil {
+			scratch.bwd.Cols = tensor.Im2ColInto(scratch.bwd.Cols, a.Data, kh, kw, opts)
+			cols = scratch.bwd.Cols
+		} else {
+			cols = tensor.Im2Col(a.Data, kh, kw, opts)
+		}
 		// dKernel = dflat^T @ cols, shape (F, C*KH*KW).
 		dk := dflat.Transpose2D().MatMul(cols)
 		kernel.accum(dk.Reshape(f, c, kh, kw))
@@ -401,7 +442,7 @@ func MSE(pred *Value, target *tensor.Tensor) *Value {
 	size := float64(diff.Size())
 	n := newNode(tensor.FromSlice([]float64{diff.Mul(diff).Sum() / size}, 1), pred)
 	n.backward = func() {
-		pred.accum(diff.Scale(2 * n.Grad.At(0) / size))
+		pred.accumScaled(diff, 2*n.Grad.At(0)/size)
 	}
 	return n
 }

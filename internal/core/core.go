@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+
+	"summitscale/internal/parallel"
 )
 
 // Metric is one paper-vs-measured comparison.
@@ -67,8 +70,15 @@ type Experiment struct {
 	Run        func() Result
 }
 
-// Experiments returns the full registry in paper order.
-func Experiments() []Experiment {
+// Experiments returns the full registry in paper order. The registry is
+// built once and cached — every experiment closure is pure with respect to
+// the registry (each Run constructs its own RNGs and substrates), so the
+// bench harness and ByID can call this per lookup without rebuilding ~22
+// experiment closures each time. Callers must not mutate the returned
+// slice.
+var Experiments = sync.OnceValue(buildExperiments)
+
+func buildExperiments() []Experiment {
 	var out []Experiment
 	out = append(out, tableExperiments()...)
 	out = append(out, figureExperiments()...)
@@ -117,15 +127,32 @@ func RenderResult(e Experiment, r Result) string {
 	return b.String()
 }
 
-// RunAll executes every experiment and renders the full report.
+// RunAll executes every experiment sequentially and renders the full
+// report. It is RunAllParallel with one worker.
 func RunAll() (string, bool) {
+	return RunAllParallel(1)
+}
+
+// RunAllParallel executes the independent experiments across at most
+// workers goroutines (workers <= 1 or a single CPU degrades to the plain
+// sequential loop) and renders the report in registry order. Each
+// experiment's section is rendered into its own slot and the slots are
+// concatenated in order, so the output is byte-identical to RunAll()
+// regardless of worker count or scheduling.
+func RunAllParallel(workers int) (string, bool) {
+	exps := Experiments()
+	sections := make([]string, len(exps))
+	passed := make([]bool, len(exps))
+	parallel.NewPool(workers).ForEach(len(exps), func(i int) {
+		r := exps[i].Run()
+		sections[i] = RenderResult(exps[i], r) + "\n"
+		passed[i] = r.Pass()
+	})
 	var b strings.Builder
 	all := true
-	for _, e := range Experiments() {
-		r := e.Run()
-		b.WriteString(RenderResult(e, r))
-		b.WriteString("\n")
-		if !r.Pass() {
+	for i, s := range sections {
+		b.WriteString(s)
+		if !passed[i] {
 			all = false
 		}
 	}

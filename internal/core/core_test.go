@@ -109,6 +109,37 @@ func TestRunAll(t *testing.T) {
 	}
 }
 
+// TestRunAllParallelByteIdentical is the determinism guarantee of the
+// concurrent runner: the parallel report must match the sequential one
+// byte for byte, at several worker counts, so `-j` can default to NumCPU
+// without perturbing any golden or downstream diff.
+func TestRunAllParallelByteIdentical(t *testing.T) {
+	seq, seqPass := RunAll()
+	for _, workers := range []int{2, 4, 8} {
+		par, parPass := RunAllParallel(workers)
+		if parPass != seqPass {
+			t.Errorf("workers=%d: pass %v vs sequential %v", workers, parPass, seqPass)
+		}
+		if par != seq {
+			t.Fatalf("workers=%d: parallel report diverged from sequential (%d vs %d bytes)",
+				workers, len(par), len(seq))
+		}
+	}
+}
+
+// TestExperimentsRegistryCached pins the sync.OnceValue satellite: repeated
+// calls must hand back the same backing array instead of rebuilding every
+// experiment closure.
+func TestExperimentsRegistryCached(t *testing.T) {
+	a, b := Experiments(), Experiments()
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty registry")
+	}
+	if &a[0] != &b[0] {
+		t.Error("Experiments() rebuilt the registry on a second call")
+	}
+}
+
 func TestScalingStudiesConsistent(t *testing.T) {
 	for _, s := range ScalingStudies() {
 		if s.Job.Nodes != s.AtNodes {

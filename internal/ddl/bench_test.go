@@ -1,0 +1,203 @@
+package ddl
+
+import (
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/mp"
+	"summitscale/internal/nn"
+	"summitscale/internal/optim"
+	"summitscale/internal/stats"
+	"summitscale/internal/tensor"
+)
+
+// allocatingSGD replicates the seed's momentum-SGD Step verbatim: weight
+// decay materialized two intermediate tensors per parameter per step. It is
+// numerically identical to the fused optim.SGD and exists only as the
+// benchmark's pre-optimization baseline.
+type allocatingSGD struct {
+	rate, momentum, weightDecay float64
+	velocity                    map[*tensor.Tensor]*tensor.Tensor
+}
+
+func (o *allocatingSGD) Step(params []nn.Param) {
+	if o.velocity == nil {
+		o.velocity = map[*tensor.Tensor]*tensor.Tensor{}
+	}
+	for _, p := range params {
+		if p.Value.Grad == nil {
+			continue
+		}
+		g := p.Value.Grad
+		w := p.Value.Data
+		if o.weightDecay != 0 {
+			g = g.Add(w.Scale(o.weightDecay))
+		}
+		v, ok := o.velocity[w]
+		if !ok {
+			v = tensor.New(w.Shape()...)
+			o.velocity[w] = v
+		}
+		v.ScaleInPlace(o.momentum).AddInPlace(g)
+		g = v
+		wd, gd := w.Data(), g.Data()
+		for i := range wd {
+			wd[i] -= o.rate * gd[i]
+		}
+	}
+}
+
+func (o *allocatingSGD) SetLR(lr float64) { o.rate = lr }
+func (o *allocatingSGD) LR() float64      { return o.rate }
+
+// BenchmarkTrainStepAlloc measures one full Rank.Step (forward, backward,
+// flatten, allreduce, unflatten, optimizer) of a conv classifier on a
+// single-rank world, with allocation accounting. The flatten-alloc variant
+// restores the pre-optimization per-step FlattenGrads allocation and the
+// seed's tensor-materializing optimizer, so the pair tracks the allocation
+// win over time.
+func BenchmarkTrainStepAlloc(b *testing.B) {
+	run := func(noScratch bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			w := mp.NewWorld(1)
+			w.Run(func(c *mp.Comm) {
+				rng := stats.NewRNG(11)
+				model := nn.NewSmallCNN(rng, nn.SmallCNNConfig{
+					InChannels: 1, ImageSize: 8, Channels: []int{8, 16}, Classes: 4})
+				var opt optim.Optimizer = &optim.SGD{Rate: 0.01, Momentum: 0.9, WeightDecay: 1e-4}
+				if noScratch {
+					opt = &allocatingSGD{rate: 0.01, momentum: 0.9, weightDecay: 1e-4}
+				}
+				rank := NewRank(c, model, opt, Config{})
+				rank.noScratch = noScratch
+				x := tensor.Randn(rng, 1, 8, 1, 8, 8)
+				labels := []int{0, 1, 2, 3, 0, 1, 2, 3}
+				lossFn := func(int) *autograd.Value {
+					return autograd.SoftmaxCrossEntropy(model.Forward(autograd.Constant(x)), labels)
+				}
+				rank.Step(lossFn) // warm the scratch buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rank.Step(lossFn)
+				}
+			})
+		}
+	}
+	b.Run("flatten-alloc", run(true))
+	b.Run("scratch", run(false))
+}
+
+// TestFlattenGradsIntoReusesBuffer pins the scratch semantics: a large
+// enough buffer is reused in place, a small one is grown, and nil-gradient
+// segments are zeroed even when the buffer holds stale data.
+func TestFlattenGradsIntoReusesBuffer(t *testing.T) {
+	rng := stats.NewRNG(1)
+	model := nn.NewMLP(rng, []int{4, 8, 2}, autograd.Tanh)
+	params := model.Params()
+	n := 0
+	for _, p := range params {
+		n += p.Value.Data.Size()
+	}
+
+	// Accumulate real gradients.
+	x := tensor.Randn(rng, 1, 3, 4)
+	loss := autograd.SoftmaxCrossEntropy(model.Forward(autograd.Constant(x)), []int{0, 1, 0})
+	loss.Backward(nil)
+
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = 99 // stale garbage that must not survive
+	}
+	got := FlattenGradsInto(buf, params)
+	if &got[0] != &buf[0] {
+		t.Error("sufficient buffer was not reused")
+	}
+	want := FlattenGrads(params)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flat[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Now clear the gradients: stale buffer contents must be zeroed.
+	nn.ZeroGrads(model)
+	got = FlattenGradsInto(got, params)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("stale value %v at %d after ZeroGrads", v, i)
+		}
+	}
+
+	// Undersized buffer grows.
+	if small := FlattenGradsInto(make([]float64, 0, 1), params); len(small) != n {
+		t.Fatalf("grown buffer has length %d, want %d", len(small), n)
+	}
+}
+
+// TestFusedSGDMatchesSeedPath pins the fused decay+momentum loop in
+// optim.SGD to the seed's tensor-materializing arithmetic bit for bit,
+// including the floating-point grouping of the decay term.
+func TestFusedSGDMatchesSeedPath(t *testing.T) {
+	train := func(opt optim.Optimizer) []float64 {
+		rng := stats.NewRNG(3)
+		model := nn.NewMLP(rng, []int{5, 9, 3}, autograd.Tanh)
+		x := tensor.Randn(stats.NewRNG(42), 1, 4, 5)
+		labels := []int{0, 1, 2, 0}
+		for step := 0; step < 6; step++ {
+			nn.ZeroGrads(model)
+			loss := autograd.SoftmaxCrossEntropy(model.Forward(autograd.Constant(x)), labels)
+			loss.Backward(nil)
+			opt.Step(model.Params())
+		}
+		return FlattenParams(model.Params())
+	}
+	fused := train(&optim.SGD{Rate: 0.05, Momentum: 0.9, WeightDecay: 1e-3})
+	seed := train(&allocatingSGD{rate: 0.05, momentum: 0.9, weightDecay: 1e-3})
+	if len(fused) == 0 || len(fused) != len(seed) {
+		t.Fatalf("bad flatten lengths %d vs %d", len(fused), len(seed))
+	}
+	for i := range fused {
+		if fused[i] != seed[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, fused[i], seed[i])
+		}
+	}
+}
+
+// TestStepScratchMatchesAllocatingPath: the persistent-scratch step must
+// produce bit-identical training to the old allocating path.
+func TestStepScratchMatchesAllocatingPath(t *testing.T) {
+	train := func(noScratch bool) []float64 {
+		var flat []float64
+		w := mp.NewWorld(2)
+		w.Run(func(c *mp.Comm) {
+			rng := stats.NewRNG(7)
+			model := nn.NewMLP(rng, []int{6, 12, 3}, autograd.Tanh)
+			rank := NewRank(c, model, optim.NewMomentumSGD(0.05, 0.9), Config{AccumSteps: 2})
+			rank.noScratch = noScratch
+			data := tensor.Randn(stats.NewRNG(uint64(100+c.Rank())), 1, 4, 6)
+			labels := []int{0, 1, 2, 0}
+			for step := 0; step < 5; step++ {
+				rank.Step(func(int) *autograd.Value {
+					return autograd.SoftmaxCrossEntropy(model.Forward(autograd.Constant(data)), labels)
+				})
+			}
+			if c.Rank() == 0 {
+				flat = FlattenParams(model.Params())
+			}
+		})
+		return flat
+	}
+	withScratch, without := train(false), train(true)
+	if len(withScratch) == 0 || len(withScratch) != len(without) {
+		t.Fatalf("bad flatten lengths %d vs %d", len(withScratch), len(without))
+	}
+	for i := range withScratch {
+		if withScratch[i] != without[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, withScratch[i], without[i])
+		}
+	}
+}

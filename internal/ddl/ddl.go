@@ -23,20 +23,33 @@ import (
 // FlattenGrads copies all parameter gradients into one contiguous vector
 // (zeroes for nil gradients). The layout is the parameter order.
 func FlattenGrads(params []nn.Param) []float64 {
+	return FlattenGradsInto(nil, params)
+}
+
+// FlattenGradsInto is FlattenGrads writing into dst when its capacity
+// suffices, so a training loop flattens into one persistent buffer instead
+// of allocating a gradient-sized vector every step. It returns the filled
+// (possibly newly grown) buffer; segments for nil gradients are zeroed.
+func FlattenGradsInto(dst []float64, params []nn.Param) []float64 {
 	n := 0
 	for _, p := range params {
 		n += p.Value.Data.Size()
 	}
-	out := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
 	off := 0
 	for _, p := range params {
 		sz := p.Value.Data.Size()
 		if p.Value.Grad != nil {
-			copy(out[off:off+sz], p.Value.Grad.Data())
+			copy(dst[off:off+sz], p.Value.Grad.Data())
+		} else {
+			clear(dst[off : off+sz])
 		}
 		off += sz
 	}
-	return out
+	return dst
 }
 
 // UnflattenGrads writes flat back into the parameters' gradients,
@@ -110,7 +123,11 @@ type Rank struct {
 
 	lagged []float64 // pending gradient when GradLag is on
 	accum  []float64
-	step   int
+	flat   []float64 // persistent flat-gradient scratch reused every step
+	// noScratch restores the per-step FlattenGrads allocation; kept as the
+	// pre-optimization baseline for BenchmarkTrainStepAlloc.
+	noScratch bool
+	step      int
 }
 
 // NewRank wires a model and optimizer to a communicator.
@@ -135,7 +152,13 @@ func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
 		loss.Backward(nil)
 		lossSum += loss.Data.At(0)
 	}
-	flat := FlattenGrads(params)
+	var flat []float64
+	if r.noScratch {
+		flat = FlattenGrads(params)
+	} else {
+		r.flat = FlattenGradsInto(r.flat, params)
+		flat = r.flat
+	}
 	// Average over world size and micro-batches.
 	scale := 1 / float64(r.Comm.Size()*r.Config.AccumSteps)
 	for i := range flat {

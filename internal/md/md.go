@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"summitscale/internal/parallel"
 	"summitscale/internal/stats"
 )
 
@@ -43,11 +44,13 @@ type LennardJones struct {
 	Rc float64
 	// shift makes the energy continuous at the cutoff.
 	shift float64
+	// rc2 caches Rc*Rc for the per-pair cutoff test.
+	rc2 float64
 }
 
 // NewLennardJones creates the potential with cutoff rc (typically 2.5σ).
 func NewLennardJones(rc float64) *LennardJones {
-	lj := &LennardJones{Rc: rc}
+	lj := &LennardJones{Rc: rc, rc2: rc * rc}
 	inv6 := 1 / math.Pow(rc*rc, 3)
 	lj.shift = 4 * (inv6*inv6 - inv6)
 	return lj
@@ -55,7 +58,11 @@ func NewLennardJones(rc float64) *LennardJones {
 
 // EnergyForce implements PairPotential.
 func (lj *LennardJones) EnergyForce(r2 float64) (float64, float64) {
-	if r2 >= lj.Rc*lj.Rc {
+	rc2 := lj.rc2
+	if rc2 == 0 { // built as a struct literal, not via NewLennardJones
+		rc2 = lj.Rc * lj.Rc
+	}
+	if r2 >= rc2 {
 		return 0, 0
 	}
 	inv2 := 1 / r2
@@ -75,12 +82,18 @@ type TabulatedPotential struct {
 	Rc     float64
 	N      int
 	E, FoR []float64 // indexed by r2 / Rc^2 * N
+
+	// Hoisted out of the pair loop: EnergyForce used to recompute Rc*Rc
+	// twice per pair (cutoff test and bin index).
+	invRc2   float64 // 1 / Rc^2
+	binScale float64 // N / Rc^2
 }
 
 // NewTabulatedFrom samples any callable into a table of n entries — used
 // to build "machine-learned" stand-ins for an expensive reference.
 func NewTabulatedFrom(f func(r2 float64) (float64, float64), rc float64, n int) *TabulatedPotential {
-	t := &TabulatedPotential{Rc: rc, N: n, E: make([]float64, n), FoR: make([]float64, n)}
+	t := &TabulatedPotential{Rc: rc, N: n, E: make([]float64, n), FoR: make([]float64, n),
+		invRc2: 1 / (rc * rc), binScale: float64(n) / (rc * rc)}
 	for i := 0; i < n; i++ {
 		r2 := (float64(i) + 0.5) / float64(n) * rc * rc
 		t.E[i], t.FoR[i] = f(r2)
@@ -90,10 +103,15 @@ func NewTabulatedFrom(f func(r2 float64) (float64, float64), rc float64, n int) 
 
 // EnergyForce implements PairPotential by nearest-bin lookup.
 func (t *TabulatedPotential) EnergyForce(r2 float64) (float64, float64) {
-	if r2 >= t.Rc*t.Rc {
+	inv, scale := t.invRc2, t.binScale
+	if inv == 0 { // built as a struct literal, not via NewTabulatedFrom
+		inv = 1 / (t.Rc * t.Rc)
+		scale = float64(t.N) * inv
+	}
+	if r2*inv >= 1 {
 		return 0, 0
 	}
-	i := int(r2 / (t.Rc * t.Rc) * float64(t.N))
+	i := int(r2 * scale)
 	if i >= t.N {
 		i = t.N - 1
 	}
@@ -111,7 +129,19 @@ type System struct {
 	Pot  PairPotential
 	Mass float64
 
+	// Workers bounds the force-kernel fan-out: 0 means GOMAXPROCS, 1 keeps
+	// everything on the calling goroutine. The computed forces and energy
+	// are identical for every setting — the slab decomposition and merge
+	// order are fixed by the geometry, not by the worker count.
+	Workers int
+
 	force []Vec3
+
+	// Scratch reused across ComputeForces calls so stepping allocates
+	// nothing in steady state.
+	cells       [][]int   // cell-list buckets, truncated and refilled per call
+	shardForce  [][]Vec3  // per-slab force accumulators, full particle length
+	shardEnergy []float64 // per-slab potential-energy partial sums
 }
 
 // NewLattice places n^3 particles on a cubic lattice in a box sized for
@@ -164,13 +194,23 @@ func (s *System) wrap(p Vec3) Vec3 {
 	return p
 }
 
-// cellList bins particles into cells no smaller than the cutoff.
+// cellList bins particles into cells no smaller than the cutoff. The
+// bucket slices are owned by the System and reused across calls — steady-
+// state stepping rebinds indices into already-grown buckets instead of
+// reallocating the whole list every step.
 func (s *System) cellList() (cells [][]int, m int) {
 	m = int(s.Box / s.Pot.Cutoff())
 	if m < 3 {
 		m = 1 // fall back to O(N^2) via a single cell
 	}
-	cells = make([][]int, m*m*m)
+	if cap(s.cells) < m*m*m {
+		s.cells = make([][]int, m*m*m)
+	}
+	s.cells = s.cells[:m*m*m]
+	cells = s.cells
+	for i := range cells {
+		cells[i] = cells[i][:0]
+	}
 	for i, p := range s.Pos {
 		q := s.wrap(p)
 		cx := int(q.X / s.Box * float64(m))
@@ -191,14 +231,28 @@ func (s *System) cellList() (cells [][]int, m int) {
 	return cells, m
 }
 
+// halfNeighborOffsets lists each cell plus half of its 26 neighbours, so
+// the traversal visits every pair exactly once. Hoisted to package scope:
+// it is a per-call invariant of the force loop.
+var halfNeighborOffsets = [14][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 0},
+	{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, -1, 0}, {1, 0, -1}, {0, 1, -1},
+	{1, 1, -1}, {1, -1, 1}, {-1, 1, 1}}
+
 // ComputeForces fills the force array and returns the potential energy.
+//
+// With cell lists (box/cutoff >= 3) the work is sharded across x-slabs of
+// the cell grid: each slab accumulates into its own full-length force
+// buffer and partial energy, and the shards are merged in slab order. The
+// decomposition depends only on the geometry, so the result is bit-for-bit
+// identical for every Workers setting; Workers only bounds how many
+// goroutines execute the slabs.
 func (s *System) ComputeForces() float64 {
-	for i := range s.force {
-		s.force[i] = Vec3{}
-	}
-	var energy float64
 	cells, m := s.cellList()
 	if m == 1 {
+		for i := range s.force {
+			s.force[i] = Vec3{}
+		}
+		var energy float64
 		for i := 0; i < s.N(); i++ {
 			for j := i + 1; j < s.N(); j++ {
 				energy += s.pairInteract(i, j)
@@ -206,43 +260,78 @@ func (s *System) ComputeForces() float64 {
 		}
 		return energy
 	}
-	// Loop cells and half of the 26 neighbours to visit each pair once.
-	offsets := [][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 0},
-		{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, -1, 0}, {1, 0, -1}, {0, 1, -1},
-		{1, 1, -1}, {1, -1, 1}, {-1, 1, 1}}
+	n := s.N()
+	if len(s.shardForce) != m || len(s.shardForce[0]) != n {
+		s.shardForce = make([][]Vec3, m)
+		for i := range s.shardForce {
+			s.shardForce[i] = make([]Vec3, n)
+		}
+		s.shardEnergy = make([]float64, m)
+	}
 	cellIdx := func(x, y, z int) int {
 		x = (x%m + m) % m
 		y = (y%m + m) % m
 		z = (z%m + m) % m
 		return (x*m+y)*m + z
 	}
-	for cx := 0; cx < m; cx++ {
+	pool := parallel.NewPool(s.Workers)
+	pool.ForEach(m, func(cx int) {
+		buf := s.shardForce[cx]
+		for i := range buf {
+			buf[i] = Vec3{}
+		}
+		var energy float64
 		for cy := 0; cy < m; cy++ {
 			for cz := 0; cz < m; cz++ {
 				c1 := cells[cellIdx(cx, cy, cz)]
-				for oi, off := range offsets {
+				for oi, off := range halfNeighborOffsets {
 					c2 := cells[cellIdx(cx+off[0], cy+off[1], cz+off[2])]
 					if oi == 0 {
 						for a := 0; a < len(c1); a++ {
 							for b := a + 1; b < len(c1); b++ {
-								energy += s.pairInteract(c1[a], c1[b])
+								energy += s.pairInteractInto(buf, c1[a], c1[b])
 							}
 						}
 						continue
 					}
 					for _, i := range c1 {
 						for _, j := range c2 {
-							energy += s.pairInteract(i, j)
+							energy += s.pairInteractInto(buf, i, j)
 						}
 					}
 				}
 			}
 		}
+		s.shardEnergy[cx] = energy
+	})
+	// Merge per-slab contributions. Each particle sums its shards in
+	// ascending slab order, so the merge is deterministic however the
+	// particle range is chunked across workers.
+	chunks := pool.Workers()
+	pool.ForEach(chunks, func(c int) {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		for i := lo; i < hi; i++ {
+			var f Vec3
+			for sh := 0; sh < m; sh++ {
+				f = f.Add(s.shardForce[sh][i])
+			}
+			s.force[i] = f
+		}
+	})
+	var energy float64
+	for _, e := range s.shardEnergy {
+		energy += e
 	}
 	return energy
 }
 
 func (s *System) pairInteract(i, j int) float64 {
+	return s.pairInteractInto(s.force, i, j)
+}
+
+// pairInteractInto accumulates the i-j interaction into the given force
+// buffer and returns the pair energy.
+func (s *System) pairInteractInto(force []Vec3, i, j int) float64 {
 	dr := s.minImage(s.Pos[i].Sub(s.Pos[j]))
 	r2 := dr.Norm2()
 	if r2 == 0 {
@@ -251,8 +340,8 @@ func (s *System) pairInteract(i, j int) float64 {
 	e, foR := s.Pot.EnergyForce(r2)
 	if foR != 0 {
 		f := dr.Scale(foR)
-		s.force[i] = s.force[i].Add(f)
-		s.force[j] = s.force[j].Sub(f)
+		force[i] = force[i].Add(f)
+		force[j] = force[j].Sub(f)
 	}
 	return e
 }

@@ -21,31 +21,54 @@ type message struct {
 	data []float64
 }
 
-// World owns the channels connecting a fixed set of ranks.
+// World owns the channels connecting a fixed set of ranks. Links are
+// materialized lazily on first use: a P-rank world holds P² pointer slots
+// but allocates a channel only for pairs that actually communicate, so
+// large worlds built for analytic modelling (netsim cross-checks, counter
+// accounting) cost O(P²) words instead of O(P²) buffered channels.
 type World struct {
 	size  int
-	links [][]chan message // links[src][dst]
+	links []atomic.Pointer[chan message] // links[src*size+dst]
+
+	linkMu     sync.Mutex // serializes link creation
+	linksAlloc atomic.Int64
 
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 	maxMsg    atomic.Int64
 }
 
-// NewWorld creates a fully connected world of the given size.
+// NewWorld creates a fully connected world of the given size. No channels
+// are allocated until a pair of ranks first communicates.
 func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mp: world size must be positive")
 	}
-	w := &World{size: size}
-	w.links = make([][]chan message, size)
-	for i := range w.links {
-		w.links[i] = make([]chan message, size)
-		for j := range w.links[i] {
-			w.links[i][j] = make(chan message, 64)
-		}
-	}
-	return w
+	return &World{size: size, links: make([]atomic.Pointer[chan message], size*size)}
 }
+
+// link returns the src→dst channel, creating it on first use. The fast path
+// is a single atomic load; creation is serialized under linkMu with a
+// double-check so exactly one channel ever backs a pair.
+func (w *World) link(src, dst int) chan message {
+	slot := &w.links[src*w.size+dst]
+	if ch := slot.Load(); ch != nil {
+		return *ch
+	}
+	w.linkMu.Lock()
+	defer w.linkMu.Unlock()
+	if ch := slot.Load(); ch != nil {
+		return *ch
+	}
+	ch := make(chan message, 64)
+	slot.Store(&ch)
+	w.linksAlloc.Add(1)
+	return ch
+}
+
+// AllocatedLinks returns how many point-to-point channels have been
+// materialized so far. A world that never communicates reports zero.
+func (w *World) AllocatedLinks() int64 { return w.linksAlloc.Load() }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
@@ -116,7 +139,7 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 		panic("mp: Send to self")
 	}
 	payload := append([]float64(nil), data...)
-	c.world.links[c.rank][dst] <- message{tag: tag, data: payload}
+	c.world.link(c.rank, dst) <- message{tag: tag, data: payload}
 	nbytes := int64(8 * len(data))
 	c.world.bytesSent.Add(nbytes)
 	c.world.msgsSent.Add(1)
@@ -148,7 +171,7 @@ func (c *Comm) Recv(src, tag int) []float64 {
 		}
 	}
 	for {
-		m := <-c.world.links[src][c.rank]
+		m := <-c.world.link(src, c.rank)
 		if m.tag == tag {
 			return m.data
 		}

@@ -396,3 +396,26 @@ func BenchmarkAllReduceTree8x65536(b *testing.B) {
 		w.Run(func(c *Comm) { c.AllReduceTree(vs[c.Rank()]) })
 	}
 }
+
+func TestLinksAllocatedLazily(t *testing.T) {
+	// A freshly built world — even a large one — materializes no channels.
+	w := NewWorld(1024)
+	if n := w.AllocatedLinks(); n != 0 {
+		t.Fatalf("fresh world allocated %d links, want 0", n)
+	}
+
+	// A ring allreduce touches exactly the P next-neighbour links.
+	p := 4
+	w = NewWorld(p)
+	vs := rankVectors(1, p, 32)
+	w.Run(func(c *Comm) { c.AllReduceRing(vs[c.Rank()]) })
+	if n := w.AllocatedLinks(); n != int64(p) {
+		t.Fatalf("ring allreduce on %d ranks allocated %d links, want %d", p, n, p)
+	}
+
+	// Re-running the collective reuses the existing channels.
+	w.Run(func(c *Comm) { c.AllReduceRing(vs[c.Rank()]) })
+	if n := w.AllocatedLinks(); n != int64(p) {
+		t.Fatalf("second allreduce grew links to %d, want still %d", n, p)
+	}
+}

@@ -40,32 +40,40 @@ func NewMomentumSGD(lr, momentum float64) *SGD {
 	return &SGD{Rate: lr, Momentum: momentum}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The decay/momentum/update arithmetic is fused
+// into one pass per parameter — no intermediate tensors are materialized,
+// so the training-step hot loop is allocation-free in steady state.
 func (o *SGD) Step(params []nn.Param) {
-	if o.velocity == nil {
+	if o.velocity == nil && o.Momentum != 0 {
 		o.velocity = map[*tensor.Tensor]*tensor.Tensor{}
 	}
 	for _, p := range params {
 		if p.Value.Grad == nil {
 			continue
 		}
-		g := p.Value.Grad
 		w := p.Value.Data
-		if o.WeightDecay != 0 {
-			g = g.Add(w.Scale(o.WeightDecay))
-		}
-		if o.Momentum != 0 {
-			v, ok := o.velocity[w]
-			if !ok {
-				v = tensor.New(w.Shape()...)
-				o.velocity[w] = v
+		wd, gd := w.Data(), p.Value.Grad.Data()
+		if o.Momentum == 0 {
+			if o.WeightDecay == 0 {
+				for i := range wd {
+					wd[i] -= o.Rate * gd[i]
+				}
+			} else {
+				for i := range wd {
+					wd[i] -= o.Rate * (gd[i] + o.WeightDecay*wd[i])
+				}
 			}
-			v.ScaleInPlace(o.Momentum).AddInPlace(g)
-			g = v
+			continue
 		}
-		wd, gd := w.Data(), g.Data()
+		v, ok := o.velocity[w]
+		if !ok {
+			v = tensor.New(w.Shape()...)
+			o.velocity[w] = v
+		}
+		vd := v.Data()
 		for i := range wd {
-			wd[i] -= o.Rate * gd[i]
+			vd[i] = o.Momentum*vd[i] + (gd[i] + o.WeightDecay*wd[i])
+			wd[i] -= o.Rate * vd[i]
 		}
 	}
 }
@@ -76,9 +84,11 @@ func (o *SGD) SetLR(lr float64) { o.Rate = lr }
 // LR implements Optimizer.
 func (o *SGD) LR() float64 { return o.Rate }
 
-// adamState holds per-parameter moment estimates.
+// adamState holds per-parameter moment estimates. u is LAMB's update
+// scratch, allocated once per parameter instead of once per step.
 type adamState struct {
 	m, v *tensor.Tensor
+	u    *tensor.Tensor
 }
 
 // Adam implements the Adam optimizer; with DecoupledWD it becomes AdamW.
@@ -229,12 +239,13 @@ func (o *LAMB) Step(params []nn.Param) {
 		w := p.Value.Data
 		st, ok := o.state[w]
 		if !ok {
-			st = &adamState{m: tensor.New(w.Shape()...), v: tensor.New(w.Shape()...)}
+			st = &adamState{m: tensor.New(w.Shape()...), v: tensor.New(w.Shape()...),
+				u: tensor.New(w.Shape()...)}
 			o.state[w] = st
 		}
 		wd, gd := w.Data(), p.Value.Grad.Data()
 		md, vd := st.m.Data(), st.v.Data()
-		update := tensor.New(w.Shape()...)
+		update := st.u
 		ud := update.Data()
 		for i := range wd {
 			g := gd[i]

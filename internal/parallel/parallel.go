@@ -1,0 +1,107 @@
+// Package parallel is the shared worker-pool layer beneath the harness's
+// hot loops: the concurrent experiment runner (internal/core), the sharded
+// MD force kernel (internal/md), and any future fan-out. It provides a
+// bounded pool with deterministic, index-addressed fan-out — workers claim
+// work items dynamically, but every result is written to its own index, so
+// the assembled output is independent of scheduling — and panic
+// propagation: a panic on any work item is re-raised on the caller, and
+// when several items panic the one with the lowest index wins, so failures
+// are as deterministic as results.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of goroutines a fan-out may use. The zero value
+// is not useful; construct with NewPool.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width. Non-positive widths (and the
+// conventional 0 = "use the machine") resolve to GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// itemPanic carries a work item's panic back to the caller.
+type itemPanic struct {
+	index int
+	value any
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using at most the pool's
+// width in concurrent goroutines. Items are claimed via an atomic cursor,
+// so scheduling is dynamic, but callers that write results to slot i get
+// output identical to a sequential loop. With one worker (or n <= 1) fn
+// runs on the caller's goroutine with no spawning at all — the "-j 1" old
+// path. All items run to completion before ForEach returns, even when some
+// panic; then the panic with the lowest index is re-raised.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  *itemPanic
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if first == nil || i < first.index {
+					first = &itemPanic{index: i, value: r}
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		panic(fmt.Sprintf("parallel: work item %d panicked: %v", first.index, first.value))
+	}
+}
+
+// MapOrdered runs fn over [0, n) on the pool and returns the results in
+// index order, regardless of which worker computed what.
+func MapOrdered[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,130 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewPool(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(-3).Workers() = %d", got)
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Fatalf("NewPool(5).Workers() = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 503
+		counts := make([]atomic.Int32, n)
+		NewPool(workers).ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	p := NewPool(8)
+	p.ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+	p.ForEach(-2, func(int) { t.Fatal("fn called for n<0") })
+	ran := false
+	p.ForEach(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single item not run")
+	}
+}
+
+// TestMapOrderedDeterministic is the ordered fan-out guarantee: results
+// land in index order no matter how many workers raced over the items.
+func TestMapOrderedDeterministic(t *testing.T) {
+	const n = 200
+	want := MapOrdered(NewPool(1), n, func(i int) int { return i * i })
+	for _, workers := range []int{2, 3, 8, 32} {
+		got := MapOrdered(NewPool(workers), n, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost its payload: %v", r)
+		}
+	}()
+	NewPool(4).ForEach(64, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+// TestForEachPanicLowestIndexWins pins the deterministic-failure rule:
+// when several items panic, the caller always sees the lowest index.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				if !strings.Contains(r.(string), "work item 3 panicked") {
+					t.Fatalf("wrong panic won: %v", r)
+				}
+			}()
+			NewPool(8).ForEach(100, func(i int) {
+				if i >= 3 {
+					panic(i)
+				}
+			})
+		}()
+	}
+}
+
+// TestForEachRunsAllDespitePanic: a panic must not strand unfinished work
+// items (the report assembler indexes into every slot).
+func TestForEachRunsAllDespitePanic(t *testing.T) {
+	const n = 128
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		NewPool(4).ForEach(n, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("early")
+			}
+		})
+	}()
+	if got := ran.Load(); got != n {
+		t.Fatalf("only %d/%d items ran after a panic", got, n)
+	}
+}
+
+func TestSingleWorkerRunsInline(t *testing.T) {
+	// With one worker, items must run on the caller's goroutine in order —
+	// the contract that makes -j 1 the exact old sequential path.
+	var order []int
+	NewPool(1).ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("one-worker order %v not sequential", order)
+		}
+	}
+}

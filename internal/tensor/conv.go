@@ -17,6 +17,14 @@ func convOutDim(in, k, stride, pad int) int {
 // (N*OH*OW, C*KH*KW) so that convolution becomes a matrix multiply. Padding
 // is zero-filled.
 func Im2Col(x *Tensor, kh, kw int, opts Conv2DOpts) *Tensor {
+	return Im2ColInto(nil, x, kh, kw, opts)
+}
+
+// Im2ColInto is Im2Col writing into dst's backing storage when its element
+// count matches, so a training loop's unfold buffer is allocated once and
+// reused across forward calls. A nil or wrong-size dst allocates fresh.
+// The returned tensor always has the correct (N*OH*OW, C*KH*KW) shape.
+func Im2ColInto(dst *Tensor, x *Tensor, kh, kw int, opts Conv2DOpts) *Tensor {
 	if x.Rank() != 4 {
 		panic("tensor: Im2Col of non-NCHW tensor")
 	}
@@ -30,7 +38,17 @@ func Im2Col(x *Tensor, kh, kw int, opts Conv2DOpts) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col empty output for input %dx%d kernel %dx%d", h, w, kh, kw))
 	}
-	cols := New(n*oh*ow, c*kh*kw)
+	var cols *Tensor
+	if dst != nil && len(dst.data) == n*oh*ow*c*kh*kw {
+		cols = &Tensor{shape: []int{n * oh * ow, c * kh * kw}, data: dst.data}
+		if p > 0 {
+			// Only padded positions are skipped by the fill loop below;
+			// without padding every element is overwritten.
+			cols.Zero()
+		}
+	} else {
+		cols = New(n*oh*ow, c*kh*kw)
+	}
 	for img := 0; img < n; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -88,9 +106,22 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw int, opts Conv2DOpts) *Tensor {
 	return x
 }
 
+// ConvScratch holds a convolution's reusable buffers. The zero value is
+// ready to use; the first forward call populates Cols and later calls with
+// the same geometry reuse it.
+type ConvScratch struct {
+	Cols *Tensor // im2col unfold matrix, (N*OH*OW, C*KH*KW)
+}
+
 // Conv2D convolves the (N, C, H, W) input with (F, C, KH, KW) kernels and a
 // length-F bias, returning (N, F, OH, OW).
 func Conv2D(x, kernel, bias *Tensor, opts Conv2DOpts) *Tensor {
+	return Conv2DScratch(x, kernel, bias, opts, nil)
+}
+
+// Conv2DScratch is Conv2D reusing the im2col buffer in scratch across
+// calls (nil scratch allocates per call, exactly like Conv2D).
+func Conv2DScratch(x, kernel, bias *Tensor, opts Conv2DOpts, scratch *ConvScratch) *Tensor {
 	if x.Rank() != 4 || kernel.Rank() != 4 {
 		panic("tensor: Conv2D wants NCHW input and FCHW kernel")
 	}
@@ -105,7 +136,13 @@ func Conv2D(x, kernel, bias *Tensor, opts Conv2DOpts) *Tensor {
 	oh := convOutDim(x.shape[2], kh, opts.Stride, opts.Padding)
 	ow := convOutDim(x.shape[3], kw, opts.Stride, opts.Padding)
 
-	cols := Im2Col(x, kh, kw, opts)                  // (N*OH*OW, C*KH*KW)
+	var cols *Tensor
+	if scratch != nil {
+		scratch.Cols = Im2ColInto(scratch.Cols, x, kh, kw, opts)
+		cols = scratch.Cols
+	} else {
+		cols = Im2Col(x, kh, kw, opts) // (N*OH*OW, C*KH*KW)
+	}
 	kmat := kernel.Reshape(f, c*kh*kw).Transpose2D() // (C*KH*KW, F)
 	prod := cols.MatMul(kmat)                        // (N*OH*OW, F)
 	out := New(n, f, oh, ow)

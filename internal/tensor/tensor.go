@@ -210,6 +210,17 @@ func (t *Tensor) AddInPlace(u *Tensor) *Tensor {
 	return t
 }
 
+// AddScaledInPlace accumulates s*u into t and returns t — the fused axpy
+// kernel of the optimizer and gradient-accumulation hot paths, which would
+// otherwise materialize u.Scale(s) per call.
+func (t *Tensor) AddScaledInPlace(u *Tensor, s float64) *Tensor {
+	t.mustMatch(u, "AddScaledInPlace")
+	for i := range t.data {
+		t.data[i] += s * u.data[i]
+	}
+	return t
+}
+
 // Scale returns t * s elementwise.
 func (t *Tensor) Scale(s float64) *Tensor {
 	r := New(t.shape...)
@@ -243,6 +254,14 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 		r.data[i] = f(t.data[i])
 	}
 	return r
+}
+
+// ApplyInPlace overwrites t with f applied elementwise and returns t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = f(t.data[i])
+	}
+	return t
 }
 
 // AddRow adds the length-C row vector to every row of the (N, C) matrix t.
