@@ -3,30 +3,38 @@
 
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-json repro examples figures clean help
+.PHONY: all tier1 build vet fmt test race bench bench-json bench-check repro examples figures clean help
 
 all: build vet test
 
 help:
 	@echo "Targets:"
 	@echo "  all        build + vet + test"
-	@echo "  tier1      build + vet + test + race (the CI gate)"
+	@echo "  tier1      build + vet + gofmt check + test + race (the CI gate)"
 	@echo "  bench      every benchmark with -benchmem"
 	@echo "  bench-json hot-path benchmarks (RunAll, MDForces, TrainStepAlloc)"
 	@echo "             -> BENCH_hotpath.json via cmd/summit-bench"
+	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
+	@echo "             vs the committed BENCH_hotpath.json"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
 	@echo "  examples   run every example once"
 	@echo "  figures    regenerate the paper figures as SVG"
 	@echo "  clean      remove generated figures"
 
 # Tier-1 gate: what CI (and the growth driver) holds the repo to.
-tier1: build vet test race
+tier1: build vet fmt test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: fail listing the offending files, fix nothing.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -43,6 +51,13 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
+
+# Regression gate: rerun the hot-path benchmarks and diff against the
+# committed baseline; exits 1 beyond +-30% ns/op or allocs/op. Timings on
+# shared runners are noisy, so CI runs this job non-blocking.
+bench-check:
+	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... \
+		| $(GO) run ./cmd/summit-bench -check BENCH_hotpath.json
 
 # Full reproduction report: every table/figure/study, paper vs measured.
 repro:

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Regression gate: `summit-bench -check old.json` parses a fresh
+// benchmark stream from stdin and compares it against a committed
+// baseline document, failing when a hot path slows down or allocates
+// beyond tolerance. Benchmark timings on shared CI runners are noisy, so
+// the threshold is deliberately wide (±30%); allocs/op is deterministic
+// and uses the same bound only to tolerate size-class changes.
+
+// checkTolerance is the fractional regression allowed before failing.
+const checkTolerance = 0.30
+
+// compareDoc diffs fresh against old benchmark-by-benchmark and returns
+// human-readable report lines plus the names of failing benchmarks.
+func compareDoc(old, fresh *document) (lines []string, failed []string) {
+	baseline := make(map[string]result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		baseline[r.Name] = r
+	}
+	seen := make(map[string]bool, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		seen[r.Name] = true
+		b, ok := baseline[r.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %-52s new benchmark (no baseline)", r.Name))
+			continue
+		}
+		fail := false
+		nsDelta := relDelta(b.NsPerOp, r.NsPerOp)
+		if nsDelta > checkTolerance {
+			fail = true
+		}
+		allocDelta := relDelta(b.AllocsPerOp, r.AllocsPerOp)
+		if allocDelta > checkTolerance && r.AllocsPerOp-b.AllocsPerOp > 0.5 {
+			fail = true
+		}
+		status := "ok"
+		if fail {
+			status = "REGRESSION"
+			failed = append(failed, r.Name)
+		}
+		lines = append(lines, fmt.Sprintf("  %-52s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %6.0f -> %6.0f  [%s]",
+			r.Name, b.NsPerOp, r.NsPerOp, 100*nsDelta, b.AllocsPerOp, r.AllocsPerOp, status))
+	}
+	var missing []string
+	for name := range baseline {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		lines = append(lines, fmt.Sprintf("  %-52s MISSING from fresh run", name))
+		failed = append(failed, name)
+	}
+	return lines, failed
+}
+
+// relDelta is (fresh-old)/old; an old value of zero only regresses when
+// fresh is nonzero.
+func relDelta(old, fresh float64) float64 {
+	if old == 0 {
+		if fresh == 0 {
+			return 0
+		}
+		return 1 // appeared from nothing: treat as a full regression
+	}
+	return (fresh - old) / old
+}
+
+// runCheck loads the baseline, parses fresh results from doc, prints the
+// comparison, and exits nonzero on regression.
+func runCheck(baselinePath string, fresh *document) {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "summit-bench:", err)
+		os.Exit(1)
+	}
+	var old document
+	if err := json.Unmarshal(b, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "summit-bench: parsing %s: %v\n", baselinePath, err)
+		os.Exit(1)
+	}
+	lines, failed := compareDoc(&old, fresh)
+	fmt.Printf("benchmark check vs %s (tolerance +-%.0f%%):\n", baselinePath, 100*checkTolerance)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "summit-bench: %d benchmark(s) regressed beyond %.0f%%: %v\n",
+			len(failed), 100*checkTolerance, failed)
+		os.Exit(1)
+	}
+	fmt.Println("summit-bench: no regressions")
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func doc(benchmarks ...result) *document {
+	return &document{Benchmarks: benchmarks}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := doc(result{Name: "BenchmarkRunAll", NsPerOp: 1000, AllocsPerOp: 10})
+	fresh := doc(result{Name: "BenchmarkRunAll", NsPerOp: 1250, AllocsPerOp: 10})
+	_, failed := compareDoc(old, fresh)
+	if len(failed) != 0 {
+		t.Fatalf("+25%% ns/op flagged as regression: %v", failed)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old := doc(result{Name: "BenchmarkRunAll", NsPerOp: 1000})
+	fresh := doc(result{Name: "BenchmarkRunAll", NsPerOp: 1400})
+	_, failed := compareDoc(old, fresh)
+	if len(failed) != 1 {
+		t.Fatalf("+40%% ns/op not flagged: %v", failed)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	old := doc(result{Name: "BenchmarkTrainStepAlloc", NsPerOp: 100, AllocsPerOp: 4})
+	fresh := doc(result{Name: "BenchmarkTrainStepAlloc", NsPerOp: 100, AllocsPerOp: 9})
+	_, failed := compareDoc(old, fresh)
+	if len(failed) != 1 {
+		t.Fatalf("alloc doubling not flagged: %v", failed)
+	}
+}
+
+func TestCompareZeroAllocsStayZero(t *testing.T) {
+	old := doc(result{Name: "BenchmarkMDForces", NsPerOp: 100, AllocsPerOp: 0})
+	fresh := doc(result{Name: "BenchmarkMDForces", NsPerOp: 100, AllocsPerOp: 0})
+	if _, failed := compareDoc(old, fresh); len(failed) != 0 {
+		t.Fatalf("0 -> 0 allocs flagged: %v", failed)
+	}
+	// A formerly allocation-free loop that starts allocating regresses.
+	fresh = doc(result{Name: "BenchmarkMDForces", NsPerOp: 100, AllocsPerOp: 2})
+	if _, failed := compareDoc(old, fresh); len(failed) != 1 {
+		t.Fatalf("0 -> 2 allocs not flagged: %v", failed)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := doc(result{Name: "BenchmarkRunAll", NsPerOp: 1000},
+		result{Name: "BenchmarkGone", NsPerOp: 500})
+	fresh := doc(result{Name: "BenchmarkRunAll", NsPerOp: 1000},
+		result{Name: "BenchmarkNew", NsPerOp: 1})
+	lines, failed := compareDoc(old, fresh)
+	if len(failed) != 1 || failed[0] != "BenchmarkGone" {
+		t.Fatalf("missing baseline benchmark not flagged: %v", failed)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "new benchmark") || !strings.Contains(joined, "MISSING") {
+		t.Fatalf("report lines incomplete:\n%s", joined)
+	}
+}
+
+func TestParseBenchStream(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: summitscale/internal/core
+cpu: Test CPU
+BenchmarkRunAll-8   	      10	 110000000 ns/op	  500000 B/op	    9000 allocs/op
+PASS
+ok  	summitscale/internal/core	2.0s
+`
+	d, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(d.Benchmarks))
+	}
+	r := d.Benchmarks[0]
+	if r.Name != "BenchmarkRunAll-8" || r.NsPerOp != 110000000 || r.AllocsPerOp != 9000 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if d.Goos != "linux" || d.CPU != "Test CPU" {
+		t.Fatalf("header lost: %+v", d)
+	}
+}

@@ -3,14 +3,20 @@
 // It exists so `make bench-json` can commit hot-path numbers
 // (BENCH_hotpath.json) in a form diffs and dashboards can consume.
 //
+// With -check it instead compares the fresh stream against a committed
+// baseline JSON and exits nonzero when a hot path regresses beyond ±30%
+// in ns/op or allocs/op (`make bench-check`).
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... | summit-bench
+//	go test -run '^$' -bench '...' -benchmem ./... | summit-bench -check BENCH_hotpath.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -37,6 +43,8 @@ type document struct {
 }
 
 func main() {
+	check := flag.String("check", "", "baseline JSON to diff the fresh results against; exit 1 on regression")
+	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "summit-bench:", err)
@@ -45,6 +53,10 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "summit-bench: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *check != "" {
+		runCheck(*check, doc)
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

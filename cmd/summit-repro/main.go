@@ -1,7 +1,14 @@
 // Command summit-repro runs the complete reproduction: every table,
-// figure, scaling study, system-requirement analysis, and workflow case
-// study, with paper-vs-measured comparisons. Exit status 1 if any metric
-// falls outside its tolerance.
+// figure, scaling study, system-requirement analysis, workflow case
+// study, and resilience study, with paper-vs-measured comparisons. Exit
+// status 1 if any metric falls outside its tolerance.
+//
+// Usage:
+//
+//	summit-repro                       # full registry on the Summit baseline
+//	summit-repro -md                   # markdown paper-vs-measured table
+//	summit-repro -platform frontier    # replay the machine-aware studies
+//	summit-repro -platforms            # list registered machines
 package main
 
 import (
@@ -9,19 +16,59 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"summitscale/internal/core"
+	"summitscale/internal/platform"
 )
 
 func main() {
 	md := flag.Bool("md", false, "emit a markdown paper-vs-measured table instead of the full report")
 	jobs := flag.Int("j", runtime.NumCPU(), "experiment workers; 1 runs the plain sequential path (output is byte-identical either way)")
+	plat := flag.String("platform", "summit", "machine to reproduce on ("+strings.Join(platform.Names(), ", ")+"); non-baseline machines replay the sysreq, scaling, and resilience studies")
+	list := flag.Bool("platforms", false, "list registered platforms and exit")
 	flag.Parse()
+
+	if *list {
+		for _, n := range platform.Names() {
+			p := platform.MustLookup(n)
+			fmt.Printf("%-16s %s (%d nodes)\n", n, p.Name, p.Nodes)
+		}
+		return
+	}
 	if *md {
 		fmt.Print(core.RenderMarkdown())
 		return
 	}
-	report, pass := core.RunAllParallel(*jobs)
+
+	p, err := platform.Lookup(*plat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summit-repro: %v\n", err)
+		os.Exit(2)
+	}
+
+	var report string
+	var pass bool
+	if p.IsPaperBaseline() {
+		// The full registry (tables, figures, scaling, sysreq, workflows,
+		// resilience) carries the paper's reference values on the baseline.
+		report, pass = core.RunAllParallel(*jobs)
+	} else {
+		// Off-baseline: replay the machine-aware studies on p.
+		exps := append(core.SysreqExperimentsOn(p), core.ScalingExperimentsOn(p)...)
+		exps = append(exps, core.ResilienceExperimentsOn(p)...)
+		var b strings.Builder
+		pass = true
+		for _, e := range exps {
+			r := e.Run()
+			b.WriteString(core.RenderResult(e, r))
+			b.WriteString("\n")
+			if !r.Pass() {
+				pass = false
+			}
+		}
+		report = b.String()
+	}
 	fmt.Print(report)
 	if !pass {
 		fmt.Fprintln(os.Stderr, "summit-repro: one or more metrics deviate from the paper")

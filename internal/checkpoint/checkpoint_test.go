@@ -6,9 +6,12 @@ import (
 	"testing"
 
 	"summitscale/internal/autograd"
+	"summitscale/internal/faults"
+	"summitscale/internal/machine"
 	"summitscale/internal/nn"
 	"summitscale/internal/stats"
 	"summitscale/internal/tensor"
+	"summitscale/internal/units"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -140,6 +143,91 @@ func TestResumeTrainingMatchesUninterrupted(t *testing.T) {
 	for i := range sp {
 		if !sp[i].Value.Data.Equal(rp[i].Value.Data, 1e-12) {
 			t.Fatalf("resumed training diverged at %s", sp[i].Name)
+		}
+	}
+}
+
+// TestResumeUnderFailureTrace drives the same resume property from a
+// seeded failure trace: a 12-step epoch (one step per 10 simulated
+// minutes, checkpoint every 3 steps) is interrupted mid-epoch wherever
+// the trace kills a node; each failure discards the uncommitted steps,
+// reloads the last checkpoint into a fresh model, and re-runs the lost
+// work. The final parameters must match uninterrupted training exactly.
+func TestResumeUnderFailureTrace(t *testing.T) {
+	x := tensor.Randn(stats.NewRNG(3), 1, 8, 4)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	step := func(m *nn.Sequential) {
+		nn.ZeroGrads(m)
+		loss := autograd.SoftmaxCrossEntropy(m.Forward(autograd.Constant(x)), labels)
+		loss.Backward(nil)
+		for _, p := range m.Params() {
+			wd, gd := p.Value.Data.Data(), p.Value.Grad.Data()
+			for i := range wd {
+				wd[i] -= 0.1 * gd[i]
+			}
+		}
+	}
+	const steps, every = 12, 3
+	const stepTime = 10 * units.Minute
+
+	straight := nn.NewMLP(stats.NewRNG(4), []int{4, 8, 3}, autograd.Tanh)
+	for i := 0; i < steps; i++ {
+		step(straight)
+	}
+
+	// A small allocation with an aggressive per-node MTBF so the 2h epoch
+	// actually sees failures (seed checked below).
+	params := faults.ParamsFor(machine.Summit(), 16)
+	params.NodeMTBF = 8 * units.Hour
+	trace := params.Generate(9, 8*units.Hour)
+	failTimes := trace.FailureTimes()
+
+	path := filepath.Join(t.TempDir(), "faulty.ckpt")
+	m := nn.NewMLP(stats.NewRNG(4), []int{4, 8, 3}, autograd.Tanh)
+	if err := Save(m, path); err != nil {
+		t.Fatal(err)
+	}
+	var wall units.Seconds
+	committed, restores := 0, 0
+	for committed < steps {
+		windowEnd := committed + every
+		if windowEnd > steps {
+			windowEnd = steps
+		}
+		failed := false
+		for s := committed; s < windowEnd; s++ {
+			// The step occupies [wall, wall+stepTime); a trace failure in
+			// that span kills the job mid-step.
+			if len(failTimes) > 0 && failTimes[0] < wall+stepTime {
+				failTimes = failTimes[1:]
+				failed = true
+				wall += stepTime // the slot is spent either way
+				break
+			}
+			step(m)
+			wall += stepTime
+		}
+		if failed {
+			restores++
+			m = nn.NewMLP(stats.NewRNG(77+uint64(restores)), []int{4, 8, 3}, autograd.Tanh)
+			if err := Load(m, path); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		committed = windowEnd
+		if err := Save(m, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restores == 0 {
+		t.Fatal("trace injected no mid-epoch failures; the test proves nothing")
+	}
+
+	sp, rp := straight.Params(), m.Params()
+	for i := range sp {
+		if !sp[i].Value.Data.Equal(rp[i].Value.Data, 1e-12) {
+			t.Fatalf("trace-interrupted training diverged at %s after %d restores", sp[i].Name, restores)
 		}
 	}
 }

@@ -87,6 +87,7 @@ func buildExperiments() []Experiment {
 	out = append(out, sysreqExperiments()...)
 	out = append(out, trustExperiment())
 	out = append(out, workflowExperiments()...)
+	out = append(out, resilienceExperiments()...)
 	return out
 }
 

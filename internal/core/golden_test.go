@@ -51,6 +51,24 @@ func TestScalingGoldenSummit(t *testing.T) {
 	}
 }
 
+// TestResilienceGoldenSummit pins the failure-model study on the
+// baseline: the checkpoint-interval sweep and the fault-injected campaign
+// are seeded, so their reports must be byte-identical across reruns, and
+// the measured sweep optimum must sit within the Young/Daly tolerance
+// (the in-report metric carries Tol 0.15 and Passed checks it).
+func TestResilienceGoldenSummit(t *testing.T) {
+	for _, e := range ResilienceExperimentsOn(platform.Summit()) {
+		first := RenderResult(e, e.Run())
+		if again := RenderResult(e, e.Run()); again != first {
+			t.Errorf("%s report not reproducible across reruns at fixed seed", e.ID)
+		}
+		want := readGolden(t, "resilience-"+e.ID+".golden")
+		if first != want {
+			t.Errorf("%s report diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", e.ID, first, want)
+		}
+	}
+}
+
 // TestReportsFiniteOnAllPlatforms runs every sysreq and scaling
 // experiment on every registered machine and rejects NaN/Inf metrics or
 // empty reports.
@@ -61,8 +79,9 @@ func TestReportsFiniteOnAllPlatforms(t *testing.T) {
 			t.Fatalf("Lookup(%q): %v", name, err)
 		}
 		exps := append(SysreqExperimentsOn(p), ScalingExperimentsOn(p)...)
-		if len(exps) != 8 {
-			t.Fatalf("%s: want 8 experiments, got %d", name, len(exps))
+		exps = append(exps, ResilienceExperimentsOn(p)...)
+		if len(exps) != 10 {
+			t.Fatalf("%s: want 10 experiments, got %d", name, len(exps))
 		}
 		for _, e := range exps {
 			res := e.Run()

@@ -1,0 +1,174 @@
+package ddl
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/checkpoint"
+	"summitscale/internal/mp"
+	"summitscale/internal/nn"
+	"summitscale/internal/optim"
+)
+
+// Elastic checkpoint/restart training: the executable counterpart of the
+// faults package's analytic model. A run is driven in checkpoint windows;
+// an injected rank failure discards the window's uncommitted steps,
+// restores every surviving rank from the last committed checkpoint
+// (internal/checkpoint), and continues on the shrunken world — the
+// shrink-to-(N−k) continuation the §IV-B full-machine runs relied on.
+// Because each rank's gradient shard is parameterized by the live world
+// size, the post-shrink trajectory still optimizes the same global batch,
+// so elastic runs are testable against uninterrupted training.
+
+// ElasticConfig configures a resilient data-parallel run.
+type ElasticConfig struct {
+	// Ranks is the initial world size.
+	Ranks int
+	// Steps is the number of optimizer steps the run must commit.
+	Steps int
+	// CheckpointEvery is the commit cadence in steps (>= 1).
+	CheckpointEvery int
+	// FailAtStep maps a global step index to the number of ranks that die
+	// at that step. Steps since the last checkpoint are lost and re-run.
+	// Each entry fires once.
+	FailAtStep map[int]int
+	// Dir is the directory holding the run's checkpoint file.
+	Dir string
+	// Config is the per-rank ddl configuration (compression, allreduce).
+	Config Config
+}
+
+// ElasticResult accounts a resilient run.
+type ElasticResult struct {
+	StepsCommitted int // optimizer steps that made it into a checkpointed state
+	StepsExecuted  int // total steps run, including ones later discarded
+	LostSteps      int // steps discarded by failures (lost work)
+	Restores       int // checkpoint restores performed
+	Checkpoints    int // committed checkpoints (including the initial one)
+	FinalRanks     int // world size after all failures
+	// Losses holds the committed per-step mean loss of rank 0.
+	Losses []float64
+	// FinalParams is the flattened committed model state.
+	FinalParams []float64
+}
+
+// RunElastic executes a data-parallel training run under injected rank
+// failures. newModel must deterministically build the same initial model
+// on every call; newOpt the optimizer (note: only model parameters are
+// checkpointed, so use stateless optimizers — e.g. plain SGD — when
+// bitwise resume equivalence matters). lossFn builds rank `rank`'s loss
+// for one micro-batch given the live world size, so callers re-shard the
+// global batch as the world shrinks.
+func RunElastic(cfg ElasticConfig,
+	newModel func() nn.Module,
+	newOpt func() optim.Optimizer,
+	lossFn func(rank, world, step, micro int, m nn.Module) *autograd.Value) (*ElasticResult, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("ddl: elastic run needs at least one rank")
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("ddl: elastic run needs at least one step")
+	}
+	if cfg.CheckpointEvery < 1 {
+		return nil, fmt.Errorf("ddl: checkpoint cadence must be >= 1")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("ddl: elastic run needs a checkpoint directory")
+	}
+	path := filepath.Join(cfg.Dir, "elastic.ckpt")
+
+	// Commit the initial state so the first window has a restore point.
+	if err := checkpoint.Save(newModel(), path); err != nil {
+		return nil, err
+	}
+	res := &ElasticResult{Checkpoints: 1, FinalRanks: cfg.Ranks}
+
+	// Pending failures in step order, consumed as they fire.
+	type failure struct{ step, ranks int }
+	var pending []failure
+	for s, k := range cfg.FailAtStep {
+		if s < 0 || s >= cfg.Steps {
+			return nil, fmt.Errorf("ddl: failure step %d outside run of %d steps", s, cfg.Steps)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("ddl: failure at step %d loses %d ranks", s, k)
+		}
+		pending = append(pending, failure{s, k})
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].step < pending[j].step })
+
+	ranks := cfg.Ranks
+	done := 0 // committed steps
+	for done < cfg.Steps {
+		windowEnd := done + cfg.CheckpointEvery
+		if windowEnd > cfg.Steps {
+			windowEnd = cfg.Steps
+		}
+		// The earliest pending failure inside this window aborts it.
+		failAt, lost := -1, 0
+		if len(pending) > 0 && pending[0].step < windowEnd {
+			failAt, lost = pending[0].step, pending[0].ranks
+			pending = pending[1:]
+		}
+		runTo := windowEnd
+		if failAt >= 0 {
+			runTo = failAt
+		}
+
+		losses := make([]float64, runTo-done)
+		if runTo > done {
+			start := done
+			w := mp.NewWorld(ranks)
+			world := ranks
+			w.Run(func(c *mp.Comm) {
+				m := newModel()
+				if err := checkpoint.Load(m, path); err != nil {
+					panic(fmt.Sprintf("ddl: elastic restore: %v", err))
+				}
+				r := NewRank(c, m, newOpt(), cfg.Config)
+				for s := start; s < runTo; s++ {
+					loss := r.Step(func(micro int) *autograd.Value {
+						return lossFn(c.Rank(), world, s, micro, m)
+					})
+					if c.Rank() == 0 {
+						losses[s-start] = loss
+					}
+				}
+				if c.Rank() == 0 && failAt < 0 {
+					// Commit the window. Replicas are identical after the
+					// final allreduce, so rank 0's state is canonical.
+					if err := checkpoint.Save(m, path); err != nil {
+						panic(fmt.Sprintf("ddl: elastic commit: %v", err))
+					}
+				}
+			})
+			res.StepsExecuted += runTo - done
+		}
+
+		if failAt >= 0 {
+			// Window aborted: uncommitted steps are lost, survivors
+			// restore from the last commit and the world shrinks.
+			res.LostSteps += runTo - done
+			res.Restores++
+			ranks -= lost
+			if ranks < 1 {
+				return nil, fmt.Errorf("ddl: failure at step %d leaves no survivors", failAt)
+			}
+			res.FinalRanks = ranks
+			continue
+		}
+		res.Losses = append(res.Losses, losses...)
+		res.StepsCommitted = windowEnd
+		res.Checkpoints++
+		done = windowEnd
+	}
+
+	final := newModel()
+	if err := checkpoint.Load(final, path); err != nil {
+		return nil, err
+	}
+	res.FinalParams = FlattenParams(final.Params())
+	return res, nil
+}

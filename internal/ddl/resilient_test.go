@@ -1,0 +1,153 @@
+package ddl
+
+import (
+	"math"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/optim"
+)
+
+// elasticLoss shards the fixed 8-sample global batch evenly over the live
+// world size, so the global objective is identical at any rank count that
+// divides 8.
+func elasticLoss() func(rank, world, step, micro int, m nn.Module) *autograd.Value {
+	x, labels := globalBatch()
+	return func(rank, world, step, micro int, m nn.Module) *autograd.Value {
+		per := 8 / world
+		lo := rank * per
+		out := m.(*nn.Sequential).Forward(autograd.Constant(x.Slice2DRows(lo, lo+per)))
+		return autograd.SoftmaxCrossEntropy(out, labels[lo:lo+per])
+	}
+}
+
+// TestElasticMatchesUninterrupted is the resilience headline: a run that
+// loses two of four ranks mid-flight, restores from its last checkpoint,
+// and continues on the shrunken world commits the same final parameters
+// as serial whole-batch training — lost work is re-done, not skipped.
+func TestElasticMatchesUninterrupted(t *testing.T) {
+	const steps, lr = 6, 0.2
+	want := trainSerial(steps, lr)
+	res, err := RunElastic(ElasticConfig{
+		Ranks:           4,
+		Steps:           steps,
+		CheckpointEvery: 2,
+		FailAtStep:      map[int]int{3: 2},
+		Dir:             t.TempDir(),
+	}, func() nn.Module { return buildModel() },
+		func() optim.Optimizer { return optim.NewSGD(lr) },
+		elasticLoss())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalRanks != 2 {
+		t.Fatalf("final ranks %d, want 2", res.FinalRanks)
+	}
+	if res.Restores != 1 || res.LostSteps != 1 {
+		t.Fatalf("restores %d lost %d, want 1 and 1 (failure one step past the step-2 commit)",
+			res.Restores, res.LostSteps)
+	}
+	if res.StepsCommitted != steps || len(res.Losses) != steps {
+		t.Fatalf("committed %d steps with %d losses, want %d", res.StepsCommitted, len(res.Losses), steps)
+	}
+	if res.StepsExecuted != steps+res.LostSteps {
+		t.Fatalf("executed %d, want committed+lost %d", res.StepsExecuted, steps+res.LostSteps)
+	}
+	for i := range want {
+		if math.Abs(res.FinalParams[i]-want[i]) > 1e-9 {
+			t.Fatalf("param %d: elastic %v vs serial %v", i, res.FinalParams[i], want[i])
+		}
+	}
+}
+
+// TestElasticFailureFree: no failures degrades to plain checkpointed
+// data-parallel training.
+func TestElasticFailureFree(t *testing.T) {
+	const steps, lr = 4, 0.2
+	want := trainSerial(steps, lr)
+	res, err := RunElastic(ElasticConfig{
+		Ranks:           2,
+		Steps:           steps,
+		CheckpointEvery: 3, // uneven final window
+		Dir:             t.TempDir(),
+	}, func() nn.Module { return buildModel() },
+		func() optim.Optimizer { return optim.NewSGD(lr) },
+		elasticLoss())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restores != 0 || res.LostSteps != 0 || res.FinalRanks != 2 {
+		t.Fatalf("failure-free run reported faults: %+v", res)
+	}
+	// Initial commit + ceil(4/3) window commits.
+	if res.Checkpoints != 3 {
+		t.Fatalf("checkpoints %d, want 3", res.Checkpoints)
+	}
+	for i := range want {
+		if math.Abs(res.FinalParams[i]-want[i]) > 1e-9 {
+			t.Fatalf("param %d: %v vs serial %v", i, res.FinalParams[i], want[i])
+		}
+	}
+}
+
+// TestElasticRepeatedFailures survives a failure cascade down to a single
+// rank and still reproduces serial training.
+func TestElasticRepeatedFailures(t *testing.T) {
+	const steps, lr = 5, 0.1
+	want := trainSerial(steps, lr)
+	res, err := RunElastic(ElasticConfig{
+		Ranks:           4,
+		Steps:           steps,
+		CheckpointEvery: 1, // commit every step: failures lose no work
+		FailAtStep:      map[int]int{1: 2, 3: 1},
+		Dir:             t.TempDir(),
+	}, func() nn.Module { return buildModel() },
+		func() optim.Optimizer { return optim.NewSGD(lr) },
+		elasticLoss())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalRanks != 1 {
+		t.Fatalf("final ranks %d, want 1", res.FinalRanks)
+	}
+	if res.Restores != 2 || res.LostSteps != 0 {
+		t.Fatalf("restores %d lost %d, want 2 and 0", res.Restores, res.LostSteps)
+	}
+	for i := range want {
+		if math.Abs(res.FinalParams[i]-want[i]) > 1e-9 {
+			t.Fatalf("param %d: %v vs serial %v", i, res.FinalParams[i], want[i])
+		}
+	}
+}
+
+func TestElasticNoSurvivorsErrors(t *testing.T) {
+	_, err := RunElastic(ElasticConfig{
+		Ranks:           2,
+		Steps:           3,
+		CheckpointEvery: 1,
+		FailAtStep:      map[int]int{1: 2},
+		Dir:             t.TempDir(),
+	}, func() nn.Module { return buildModel() },
+		func() optim.Optimizer { return optim.NewSGD(0.1) },
+		elasticLoss())
+	if err == nil {
+		t.Fatal("total loss of ranks must error")
+	}
+}
+
+func TestElasticValidatesConfig(t *testing.T) {
+	mk := func() nn.Module { return buildModel() }
+	op := func() optim.Optimizer { return optim.NewSGD(0.1) }
+	for _, cfg := range []ElasticConfig{
+		{Ranks: 0, Steps: 1, CheckpointEvery: 1, Dir: "x"},
+		{Ranks: 1, Steps: 0, CheckpointEvery: 1, Dir: "x"},
+		{Ranks: 1, Steps: 1, CheckpointEvery: 0, Dir: "x"},
+		{Ranks: 1, Steps: 1, CheckpointEvery: 1},
+		{Ranks: 1, Steps: 1, CheckpointEvery: 1, Dir: "x", FailAtStep: map[int]int{5: 1}},
+	} {
+		if _, err := RunElastic(cfg, mk, op, elasticLoss()); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}

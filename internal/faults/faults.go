@@ -1,0 +1,309 @@
+// Package faults is the deterministic fault-injection subsystem: it
+// generates seeded failure traces — node crashes with exponential or
+// Weibull inter-arrival times, transient stragglers, and degraded network
+// links — parameterized from an internal/machine description, and feeds
+// them to the simulators (netsim, storage, ddl, workflow) and to the
+// checkpoint/restart resilience study in internal/core.
+//
+// The paper's §IV-B scale-out runs (Kurth, Laanait, Khan) only reached
+// near-full Summit by surviving node failures across thousands of AC922
+// nodes; MLPerf HPC likewise treats checkpoint cadence and interrupt
+// tolerance as first-class scaling concerns. This package makes that
+// failure-laden machine explicit while keeping every draw seeded, so each
+// trace — and every report built on one — is byte-reproducible.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"summitscale/internal/machine"
+	"summitscale/internal/stats"
+	"summitscale/internal/units"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+// Fault kinds.
+const (
+	// NodeFailure is a fatal node crash: the job loses the node and all
+	// uncheckpointed work.
+	NodeFailure Kind = iota
+	// Straggler is a transient slowdown of one node (OS noise burst,
+	// thermal throttle): steps inflate by Factor for Duration.
+	Straggler
+	// LinkDegrade is a transient loss of network bandwidth on one node's
+	// injection path: link bandwidth is multiplied by Factor for Duration.
+	LinkDegrade
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeFailure:
+		return "node-failure"
+	case Straggler:
+		return "straggler"
+	case LinkDegrade:
+		return "link-degrade"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one injected fault.
+type Event struct {
+	Time units.Seconds // job wall-clock time of onset
+	Kind Kind
+	Node int // affected node index in [0, Params.Nodes)
+	// Duration is how long a transient fault persists (zero for
+	// NodeFailure, which is permanent for the incarnation of the job).
+	Duration units.Seconds
+	// Factor is the transient severity: step-time multiplier (>1) for
+	// stragglers, bandwidth multiplier (<1) for degraded links. Zero for
+	// node failures.
+	Factor float64
+}
+
+// Params parameterizes trace generation for one machine/job shape.
+type Params struct {
+	// Nodes is the job's node count (failure rates aggregate over it).
+	Nodes int
+	// NodeMTBF is the per-node mean time between fatal failures.
+	NodeMTBF units.Seconds
+	// Shape is the Weibull shape of failure inter-arrivals: 1 is the
+	// memoryless exponential, <1 the infant-mortality regime after a
+	// maintenance window. The scale is always chosen so the mean
+	// inter-arrival stays NodeMTBF/Nodes.
+	Shape float64
+	// StragglerMTBE is the per-node mean time between straggler episodes.
+	StragglerMTBE units.Seconds
+	// StragglerFactor is the step-time multiplier while straggling.
+	StragglerFactor float64
+	// StragglerDuration is the episode length.
+	StragglerDuration units.Seconds
+	// LinkMTBE is the per-node mean time between link-degrade episodes.
+	LinkMTBE units.Seconds
+	// LinkFactor is the bandwidth multiplier while degraded.
+	LinkFactor float64
+	// LinkDuration is the episode length.
+	LinkDuration units.Seconds
+}
+
+// DefaultNodeMTBF is used when a machine description does not specify
+// reliability: two years per node, Summit-class.
+const DefaultNodeMTBF = 2 * units.Year
+
+// ParamsFor derives fault parameters for a job of the given node count on
+// the given machine. Transient-fault rates follow the fatal-failure rate:
+// straggler episodes are ~50x more frequent than crashes and degraded
+// links ~10x, matching the "soft faults dominate hard faults" ordering of
+// leadership-system failure studies.
+func ParamsFor(m machine.Machine, jobNodes int) Params {
+	if jobNodes <= 0 || jobNodes > m.Nodes {
+		jobNodes = m.Nodes
+	}
+	mtbf := m.NodeMTBF
+	if mtbf <= 0 {
+		mtbf = DefaultNodeMTBF
+	}
+	return Params{
+		Nodes:             jobNodes,
+		NodeMTBF:          mtbf,
+		Shape:             1, // memoryless by default
+		StragglerMTBE:     mtbf / 50,
+		StragglerFactor:   1.5,
+		StragglerDuration: 2 * units.Minute,
+		LinkMTBE:          mtbf / 10,
+		LinkFactor:        0.25,
+		LinkDuration:      5 * units.Minute,
+	}
+}
+
+// SystemMTBF returns the job-visible mean time between fatal failures:
+// the per-node MTBF divided by the node count.
+func (p Params) SystemMTBF() units.Seconds {
+	if p.Nodes <= 0 {
+		panic("faults: params need a positive node count")
+	}
+	return p.NodeMTBF / units.Seconds(p.Nodes)
+}
+
+// Trace is a seeded, sorted fault schedule over a wall-clock horizon.
+type Trace struct {
+	Params  Params
+	Seed    uint64
+	Horizon units.Seconds
+	Events  []Event
+}
+
+// Generate draws a trace for the horizon. All randomness flows from the
+// seed: the same (params, seed, horizon) triple yields the same trace on
+// every platform and every run.
+func (p Params) Generate(seed uint64, horizon units.Seconds) *Trace {
+	if p.Nodes <= 0 {
+		panic("faults: params need a positive node count")
+	}
+	if p.NodeMTBF <= 0 {
+		panic("faults: params need a positive node MTBF")
+	}
+	if horizon <= 0 {
+		panic("faults: trace horizon must be positive")
+	}
+	shape := p.Shape
+	if shape <= 0 {
+		shape = 1
+	}
+	root := stats.NewRNG(seed)
+	// Independent streams per process so adding one fault class never
+	// perturbs another class's schedule.
+	failRNG, stragRNG, linkRNG := root.Split(), root.Split(), root.Split()
+
+	tr := &Trace{Params: p, Seed: seed, Horizon: horizon}
+
+	// Fatal failures: a system-level renewal process at rate
+	// Nodes/NodeMTBF with Weibull(shape) inter-arrivals whose mean is the
+	// system MTBF (scale = mean / Γ(1+1/shape)).
+	sysMTBF := float64(p.SystemMTBF())
+	scale := sysMTBF / math.Gamma(1+1/shape)
+	for t := 0.0; ; {
+		t += failRNG.Weibull(shape, scale)
+		if t >= float64(horizon) {
+			break
+		}
+		tr.Events = append(tr.Events, Event{
+			Time: units.Seconds(t),
+			Kind: NodeFailure,
+			Node: failRNG.Intn(p.Nodes),
+		})
+	}
+
+	transient := func(rng *stats.RNG, mtbe units.Seconds, kind Kind,
+		dur units.Seconds, factor float64) {
+		if mtbe <= 0 || factor == 0 {
+			return
+		}
+		mean := float64(mtbe) / float64(p.Nodes)
+		for t := 0.0; ; {
+			t += mean * rng.ExpFloat64()
+			if t >= float64(horizon) {
+				break
+			}
+			tr.Events = append(tr.Events, Event{
+				Time:     units.Seconds(t),
+				Kind:     kind,
+				Node:     rng.Intn(p.Nodes),
+				Duration: dur,
+				Factor:   factor,
+			})
+		}
+	}
+	transient(stragRNG, p.StragglerMTBE, Straggler, p.StragglerDuration, p.StragglerFactor)
+	transient(linkRNG, p.LinkMTBE, LinkDegrade, p.LinkDuration, p.LinkFactor)
+
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		return tr.Events[i].Time < tr.Events[j].Time
+	})
+	return tr
+}
+
+// Count returns the number of events of the given kind.
+func (t *Trace) Count(kind Kind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// FailureTimes returns the fatal-failure onset times in order.
+func (t *Trace) FailureTimes() []units.Seconds {
+	out := make([]units.Seconds, 0, t.Count(NodeFailure))
+	for _, e := range t.Events {
+		if e.Kind == NodeFailure {
+			out = append(out, e.Time)
+		}
+	}
+	return out
+}
+
+// In returns the events with onset in [from, to), preserving order.
+func (t *Trace) In(from, to units.Seconds) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Time >= from && e.Time < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NodeFailedIn reports whether the given node suffers a fatal failure
+// with onset in [from, to).
+func (t *Trace) NodeFailedIn(node int, from, to units.Seconds) bool {
+	for _, e := range t.Events {
+		if e.Kind == NodeFailure && e.Node == node && e.Time >= from && e.Time < to {
+			return true
+		}
+	}
+	return false
+}
+
+// SlowdownAt returns the aggregate straggler step-time multiplier active
+// at time t: the worst Factor of any straggler episode covering t (the
+// synchronous step runs at the slowest member's pace), or 1.
+func (t *Trace) SlowdownAt(at units.Seconds) float64 {
+	worst := 1.0
+	for _, e := range t.Events {
+		if e.Time > at {
+			break // events sorted by onset
+		}
+		if e.Kind == Straggler && at < e.Time+e.Duration && e.Factor > worst {
+			worst = e.Factor
+		}
+	}
+	return worst
+}
+
+// LinkFactorAt returns the worst link-bandwidth multiplier active at time
+// t (a degraded member throttles the whole ring), or 1.
+func (t *Trace) LinkFactorAt(at units.Seconds) float64 {
+	worst := 1.0
+	for _, e := range t.Events {
+		if e.Time > at {
+			break
+		}
+		if e.Kind == LinkDegrade && at < e.Time+e.Duration && e.Factor < worst {
+			worst = e.Factor
+		}
+	}
+	return worst
+}
+
+// Summary renders a one-line census of the trace.
+func (t *Trace) Summary() string {
+	return fmt.Sprintf("seed=%d horizon=%v events: %d node-failure, %d straggler, %d link-degrade (system MTBF %v)",
+		t.Seed, t.Horizon, t.Count(NodeFailure), t.Count(Straggler), t.Count(LinkDegrade), t.Params.SystemMTBF())
+}
+
+// Render lists every event, one per line — the trace exchange format
+// referenced by DESIGN.md §7.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fault trace %s\n", t.Summary())
+	for _, e := range t.Events {
+		switch e.Kind {
+		case NodeFailure:
+			fmt.Fprintf(&b, "%12.1f  %-12s node %d\n", float64(e.Time), e.Kind, e.Node)
+		default:
+			fmt.Fprintf(&b, "%12.1f  %-12s node %d  %.0fs x%.2f\n",
+				float64(e.Time), e.Kind, e.Node, float64(e.Duration), e.Factor)
+		}
+	}
+	return b.String()
+}

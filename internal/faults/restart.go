@@ -1,0 +1,210 @@
+// Checkpoint/restart simulation: replay a training run of known useful
+// work against a fault trace, checkpointing at a fixed interval, and
+// account wall time, lost work, and overhead — the measured side of the
+// Young/Daly checkpoint-interval optimum.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"summitscale/internal/units"
+)
+
+// RunShape describes a checkpointed run independent of any fault trace.
+type RunShape struct {
+	// TotalWork is the useful compute the run must accumulate — its
+	// failure-free, checkpoint-free wall time.
+	TotalWork units.Seconds
+	// CheckpointCost is δ: the synchronous stall to quiesce ranks and
+	// write model + optimizer state.
+	CheckpointCost units.Seconds
+	// RestartCost is paid after each failure: relaunch, checkpoint load,
+	// and dataset re-stage before useful work resumes.
+	RestartCost units.Seconds
+}
+
+// Outcome is the bookkeeping of one simulated checkpointed run.
+type Outcome struct {
+	Wall        units.Seconds // total wall time to finish TotalWork
+	LostWork    units.Seconds // work (and partial checkpoints) discarded by failures
+	Checkpoints int           // committed checkpoints
+	CkptTime    units.Seconds // time spent writing committed checkpoints
+	RestartTime units.Seconds // time spent in restarts
+	Failures    int           // failures endured before completion
+}
+
+// Efficiency returns useful work divided by wall time.
+func (o Outcome) Efficiency(shape RunShape) float64 {
+	if o.Wall <= 0 {
+		return 1
+	}
+	return float64(shape.TotalWork) / float64(o.Wall)
+}
+
+// Simulate replays the run against the trace's fatal failures with the
+// given checkpoint interval. Work proceeds in interval-sized segments,
+// each committed by a δ-long checkpoint write; a failure mid-segment (or
+// mid-write, or mid-restart) discards everything since the last committed
+// checkpoint and pays RestartCost. Failures after the trace horizon do
+// not exist: the caller must generate traces long enough to cover the
+// worst-case wall time.
+func Simulate(shape RunShape, interval units.Seconds, trace *Trace) Outcome {
+	return simulate(shape, interval, trace.FailureTimes())
+}
+
+func simulate(shape RunShape, interval units.Seconds, failures []units.Seconds) Outcome {
+	if interval <= 0 {
+		panic("faults: checkpoint interval must be positive")
+	}
+	if shape.TotalWork <= 0 {
+		panic("faults: run shape needs positive total work")
+	}
+	var out Outcome
+	var wall, saved units.Seconds
+	fi := 0
+	for saved < shape.TotalWork {
+		// Failure during a restart window restarts the restart.
+		if fi < len(failures) && failures[fi] < wall {
+			f := failures[fi]
+			fi++
+			out.Failures++
+			out.RestartTime -= wall - f // the tail of the aborted restart never ran
+			wall = f + shape.RestartCost
+			out.RestartTime += shape.RestartCost
+			continue
+		}
+		chunk := interval
+		if rem := shape.TotalWork - saved; rem < chunk {
+			chunk = rem
+		}
+		segment := chunk
+		if saved+chunk < shape.TotalWork {
+			segment += shape.CheckpointCost // the final segment needs no commit
+		}
+		if fi < len(failures) && failures[fi] < wall+segment {
+			f := failures[fi]
+			fi++
+			out.Failures++
+			out.LostWork += f - wall
+			wall = f + shape.RestartCost
+			out.RestartTime += shape.RestartCost
+			continue
+		}
+		wall += segment
+		saved += chunk
+		if segment > chunk {
+			out.Checkpoints++
+			out.CkptTime += segment - chunk
+		}
+	}
+	out.Wall = wall
+	return out
+}
+
+// DalyInterval returns the Young/Daly first-order optimal checkpoint
+// interval sqrt(2·δ·MTBF) for checkpoint cost δ and system MTBF.
+func DalyInterval(ckptCost, systemMTBF units.Seconds) units.Seconds {
+	if ckptCost <= 0 || systemMTBF <= 0 {
+		panic("faults: Daly interval needs positive checkpoint cost and MTBF")
+	}
+	return units.Seconds(math.Sqrt(2 * float64(ckptCost) * float64(systemMTBF)))
+}
+
+// DalyOverhead returns the first-order expected overhead fraction of
+// checkpointing every τ: δ/τ for the writes plus τ/(2·MTBF) of expected
+// lost work per failure interval.
+func DalyOverhead(interval, ckptCost, systemMTBF units.Seconds) float64 {
+	return float64(ckptCost)/float64(interval) + float64(interval)/(2*float64(systemMTBF))
+}
+
+// SweepPoint is one checkpoint interval evaluated against a trace set.
+type SweepPoint struct {
+	Interval     units.Seconds
+	MeanWall     units.Seconds
+	Overhead     float64 // MeanWall/TotalWork - 1
+	MeanFailures float64
+	Efficiency   float64 // TotalWork/MeanWall
+}
+
+// Sweep simulates the run at every interval against every trace (common
+// random numbers: the same traces across all intervals, so the curve is
+// smooth in the interval and the argmin is statistically stable) and
+// returns one aggregated point per interval.
+func Sweep(shape RunShape, intervals []units.Seconds, traces []*Trace) []SweepPoint {
+	if len(intervals) == 0 || len(traces) == 0 {
+		panic("faults: sweep needs intervals and traces")
+	}
+	failureSets := make([][]units.Seconds, len(traces))
+	for i, tr := range traces {
+		failureSets[i] = tr.FailureTimes()
+	}
+	pts := make([]SweepPoint, len(intervals))
+	for i, iv := range intervals {
+		var wall units.Seconds
+		var fails int
+		for _, fs := range failureSets {
+			o := simulate(shape, iv, fs)
+			wall += o.Wall
+			fails += o.Failures
+		}
+		mean := wall / units.Seconds(len(traces))
+		pts[i] = SweepPoint{
+			Interval:     iv,
+			MeanWall:     mean,
+			Overhead:     float64(mean)/float64(shape.TotalWork) - 1,
+			MeanFailures: float64(fails) / float64(len(traces)),
+			Efficiency:   float64(shape.TotalWork) / float64(mean),
+		}
+	}
+	return pts
+}
+
+// Optimum returns the sweep point with the smallest mean wall time.
+func Optimum(pts []SweepPoint) SweepPoint {
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.MeanWall < best.MeanWall {
+			best = p
+		}
+	}
+	return best
+}
+
+// GeometricIntervals returns n intervals spaced by a constant ratio from
+// lo to hi inclusive — the sweep grid.
+func GeometricIntervals(lo, hi units.Seconds, n int) []units.Seconds {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("faults: bad geometric grid")
+	}
+	out := make([]units.Seconds, n)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(n-1))
+	v := float64(lo)
+	for i := range out {
+		out[i] = units.Seconds(v)
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}
+
+// RenderSweep formats the sweep as an aligned table with the measured and
+// predicted optima marked.
+func RenderSweep(shape RunShape, pts []SweepPoint, daly units.Seconds) string {
+	var b strings.Builder
+	best := Optimum(pts)
+	fmt.Fprintf(&b, "  %10s %12s %10s %10s %9s\n",
+		"interval", "mean wall", "overhead", "failures", "eff")
+	for _, p := range pts {
+		mark := ""
+		if p.Interval == best.Interval {
+			mark = "  <- measured optimum"
+		}
+		fmt.Fprintf(&b, "  %10.0fs %12.0fs %9.2f%% %10.2f %8.1f%%%s\n",
+			float64(p.Interval), float64(p.MeanWall), 100*p.Overhead,
+			p.MeanFailures, 100*p.Efficiency, mark)
+	}
+	fmt.Fprintf(&b, "  Young/Daly optimum sqrt(2*delta*MTBF) = %.0fs\n", float64(daly))
+	return b.String()
+}

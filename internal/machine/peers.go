@@ -56,6 +56,10 @@ func Frontier() Machine {
 		NetworkLatency:  2e-6,
 		CollectiveAlpha: 1e-7,
 		Rails:           4,
+		// Early-life reliability: ~1 year per node, so a full-machine
+		// job (9408 nodes) is interrupted roughly hourly — the regime
+		// the first Frontier-scale training campaigns reported.
+		NodeMTBF: 1 * units.Year,
 	}
 }
 
@@ -105,5 +109,6 @@ func JUWELSBooster() Machine {
 		NetworkLatency:  1.5e-6,
 		CollectiveAlpha: 1e-7,
 		Rails:           4,
+		NodeMTBF:        2 * units.Year,
 	}
 }

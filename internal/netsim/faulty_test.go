@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+
+	"summitscale/internal/units"
+)
+
+func TestDegradedScalesBandwidth(t *testing.T) {
+	f := SummitFabric()
+	n := units.Bytes(100 * units.MB)
+	full := f.RingAllReduce(512, n)
+	half := f.RingAllReduceDegraded(512, n, 0.5)
+	if half <= full {
+		t.Fatal("degraded ring not slower")
+	}
+	// Bandwidth-dominated regime: halving the link roughly doubles time.
+	if ratio := float64(half) / float64(full); ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("half-bandwidth ratio %.3f, want ~2", ratio)
+	}
+}
+
+func TestDegradedRejectsBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 0 accepted")
+		}
+	}()
+	SummitFabric().Degraded(0)
+}
+
+func TestNodeLossCostsMoreThanCleanStep(t *testing.T) {
+	f := SummitFabric()
+	n := units.Bytes(170 * units.MB)
+	clean := f.RingAllReduce(1024, n)
+	lossy := f.AllReduceWithNodeLoss(1024, n, 0.5, 0.5)
+	// Half a wasted collective + detection + redo must exceed one clean
+	// collective plus the detection timeout.
+	if lossy <= clean+0.5 {
+		t.Fatalf("node-loss allreduce %v not dearer than clean %v + timeout", lossy, clean)
+	}
+}
+
+func TestNodeLossLateFailureWastesMore(t *testing.T) {
+	f := SummitFabric()
+	n := units.Bytes(170 * units.MB)
+	early := f.AllReduceWithNodeLoss(1024, n, 0.1, 0.5)
+	late := f.AllReduceWithNodeLoss(1024, n, 0.9, 0.5)
+	if late <= early {
+		t.Fatal("later failure should waste more partial work")
+	}
+}
+
+func TestRingRebuildGrowsWithMembership(t *testing.T) {
+	f := SummitFabric()
+	small := f.RingRebuildTime(8, 0.5)
+	large := f.RingRebuildTime(4096, 0.5)
+	if large < small {
+		t.Fatal("rebuild cost shrank with membership")
+	}
+	if small < 0.5 {
+		t.Fatal("rebuild cheaper than the detection timeout")
+	}
+}

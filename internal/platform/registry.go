@@ -45,6 +45,9 @@ type Config struct {
 	CPUCores        int
 	DDR             units.Bytes
 	NetworkLatency  units.Seconds
+	// NodeMTBF is the per-node mean time between failures; zero defaults
+	// to two years (Summit-class reliability).
+	NodeMTBF units.Seconds
 }
 
 // GenericConfig returns the parameter set behind the registry's "generic"
@@ -98,6 +101,9 @@ func New(key string, c Config) (Platform, error) {
 	if c.NetworkLatency == 0 {
 		c.NetworkLatency = 2e-6
 	}
+	if c.NodeMTBF == 0 {
+		c.NodeMTBF = 2 * units.Year
+	}
 	m := machine.Machine{
 		Name:  c.Name,
 		Nodes: c.Nodes,
@@ -118,6 +124,7 @@ func New(key string, c Config) (Platform, error) {
 		NetworkLatency:  c.NetworkLatency,
 		CollectiveAlpha: c.CollectiveAlpha,
 		Rails:           c.Rails,
+		NodeMTBF:        c.NodeMTBF,
 	}
 	p := Platform{Key: key, Machine: m}
 	if err := Validate(p); err != nil {

@@ -73,6 +73,17 @@ func (r *RNG) ExpFloat64() float64 {
 	}
 }
 
+// Weibull returns a Weibull variate with the given shape k and scale λ
+// via inverse-transform sampling: λ·(-ln U)^(1/k). Shape 1 reduces to the
+// exponential distribution with mean λ; shape < 1 models the infant
+// -mortality failure regime of freshly-rebooted HPC nodes.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Weibull needs positive shape and scale")
+	}
+	return scale * math.Pow(r.ExpFloat64(), 1/shape)
+}
+
 // Perm returns a pseudo-random permutation of [0, n) via Fisher–Yates.
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"testing"
+
+	"summitscale/internal/units"
+)
+
+func TestStagingWithNoFailuresMatchesBase(t *testing.T) {
+	s := NewStager()
+	d := units.Bytes(100 * units.TB)
+	base := s.StagingTime(d, 1024, PartitionDataset)
+	if got := s.StagingTimeWithFailures(d, 1024, PartitionDataset, nil); got != base {
+		t.Fatalf("failure-free staging %v != base %v", got, base)
+	}
+}
+
+func TestFailureDuringStagingDelaysCompletion(t *testing.T) {
+	s := NewStager()
+	d := units.Bytes(100 * units.TB)
+	const nodes = 1024
+	base := s.StagingTime(d, nodes, PartitionDataset)
+	mid := base / 2
+	got := s.StagingTimeWithFailures(d, nodes, PartitionDataset, []units.Seconds{mid})
+	if got <= base {
+		t.Fatalf("mid-stage failure did not delay completion: %v vs %v", got, base)
+	}
+	if want := mid + s.ReStageTime(d, nodes, PartitionDataset); got != want {
+		t.Fatalf("completion %v, want failure+restage %v", got, want)
+	}
+}
+
+func TestFailureAfterStagingIgnored(t *testing.T) {
+	s := NewStager()
+	d := units.Bytes(100 * units.TB)
+	base := s.StagingTime(d, 1024, PartitionDataset)
+	got := s.StagingTimeWithFailures(d, 1024, PartitionDataset, []units.Seconds{base + 1})
+	if got != base {
+		t.Fatalf("post-stage failure changed completion: %v vs %v", got, base)
+	}
+}
+
+func TestEarlyFailureHiddenUnderRemainingStage(t *testing.T) {
+	s := NewStager()
+	// Large node count: per-node share is tiny, so a re-stage beginning
+	// at t=0+ finishes well before the aggregate-GPFS-bound completion.
+	d := units.Bytes(500 * units.TB)
+	const nodes = 4096
+	base := s.StagingTime(d, nodes, PartitionDataset)
+	if re := s.ReStageTime(d, nodes, PartitionDataset); re >= base {
+		t.Skipf("re-stage %v not hidden by base %v on this shape", re, base)
+	}
+	got := s.StagingTimeWithFailures(d, nodes, PartitionDataset, []units.Seconds{0})
+	if got != base {
+		t.Fatalf("hidden re-stage still delayed completion: %v vs %v", got, base)
+	}
+}
+
+func TestReplicateRestageDearerThanPartition(t *testing.T) {
+	s := NewStager()
+	d := units.Bytes(1 * units.TB) // fits one node's NVMe for replication
+	rep := s.ReStageTime(d, 512, ReplicateDataset)
+	part := s.ReStageTime(d, 512, PartitionDataset)
+	if rep <= part {
+		t.Fatalf("replicate re-stage %v not dearer than partition %v", rep, part)
+	}
+}

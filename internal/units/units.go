@@ -130,6 +130,14 @@ func (f FlopsPerSecond) String() string {
 // Seconds is a duration in seconds, kept as float64 for model arithmetic.
 type Seconds float64
 
+// Common durations.
+const (
+	Minute Seconds = 60
+	Hour   Seconds = 3600
+	Day    Seconds = 24 * Hour
+	Year   Seconds = 8766 * Hour // Julian year, the MTBF bookkeeping unit
+)
+
 // String formats a duration with an appropriate unit.
 func (s Seconds) String() string {
 	switch {

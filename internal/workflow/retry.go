@@ -2,15 +2,72 @@ package workflow
 
 import (
 	"fmt"
+	"sync"
 
+	"summitscale/internal/faults"
 	"summitscale/internal/stats"
+	"summitscale/internal/units"
 )
+
+// RetryStats accumulates what a retry policy actually did across every
+// task it wrapped — attempt counts and simulated backoff totals, the
+// numbers the resilience study reports (previously they were swallowed
+// inside Wrap). Safe for concurrent use: Workflow.Run executes wrapped
+// tasks from many goroutines.
+type RetryStats struct {
+	mu           sync.Mutex
+	attempts     int
+	retries      int
+	succeeded    int
+	exhausted    int
+	backoffTotal units.Seconds
+}
+
+// RetrySnapshot is a consistent copy of the counters.
+type RetrySnapshot struct {
+	// Attempts counts every body invocation.
+	Attempts int
+	// Retries counts failed attempts that were retried.
+	Retries int
+	// Succeeded counts wrapped tasks that eventually completed.
+	Succeeded int
+	// Exhausted counts wrapped tasks that ran out of attempts.
+	Exhausted int
+	// BackoffTotal is the simulated wait accumulated between attempts.
+	BackoffTotal units.Seconds
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *RetryStats) Snapshot() RetrySnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RetrySnapshot{
+		Attempts:     s.attempts,
+		Retries:      s.retries,
+		Succeeded:    s.succeeded,
+		Exhausted:    s.exhausted,
+		BackoffTotal: s.backoffTotal,
+	}
+}
+
+// String renders the snapshot.
+func (s RetrySnapshot) String() string {
+	return fmt.Sprintf("attempts=%d retries=%d succeeded=%d exhausted=%d backoff=%v",
+		s.Attempts, s.Retries, s.Succeeded, s.Exhausted, s.BackoffTotal)
+}
 
 // RetryPolicy wraps task bodies with bounded retries — campaign workflows
 // at leadership scale treat node failures and queue evictions as routine,
 // so the §V orchestrators (Balsam, RAPTOR) all retry failed stages.
 type RetryPolicy struct {
 	MaxAttempts int
+	// Backoff is the simulated wait before the first retry; each further
+	// retry doubles it (exponential backoff). It accrues in Stats — the
+	// engine does not sleep.
+	Backoff units.Seconds
+	// Stats, if non-nil, accumulates attempt counts and backoff totals
+	// across every task wrapped with this policy.
+	Stats *RetryStats
 	// OnRetry, if non-nil, observes (task, attempt, err) before each retry.
 	OnRetry func(task string, attempt int, err error)
 }
@@ -22,14 +79,39 @@ func (p RetryPolicy) Wrap(name string, body func(ctx *Context) error) func(*Cont
 	}
 	return func(ctx *Context) error {
 		var last error
+		backoff := p.Backoff
 		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+			if p.Stats != nil {
+				p.Stats.mu.Lock()
+				p.Stats.attempts++
+				p.Stats.mu.Unlock()
+			}
 			last = body(ctx)
 			if last == nil {
+				if p.Stats != nil {
+					p.Stats.mu.Lock()
+					p.Stats.succeeded++
+					p.Stats.mu.Unlock()
+				}
 				return nil
 			}
-			if attempt < p.MaxAttempts && p.OnRetry != nil {
-				p.OnRetry(name, attempt, last)
+			if attempt < p.MaxAttempts {
+				if p.OnRetry != nil {
+					p.OnRetry(name, attempt, last)
+				}
+				if p.Stats != nil {
+					p.Stats.mu.Lock()
+					p.Stats.retries++
+					p.Stats.backoffTotal += backoff
+					p.Stats.mu.Unlock()
+				}
+				backoff *= 2
 			}
+		}
+		if p.Stats != nil {
+			p.Stats.mu.Lock()
+			p.Stats.exhausted++
+			p.Stats.mu.Unlock()
 		}
 		return fmt.Errorf("workflow: task %q failed after %d attempts: %w",
 			name, p.MaxAttempts, last)
@@ -37,7 +119,7 @@ func (p RetryPolicy) Wrap(name string, body func(ctx *Context) error) func(*Cont
 }
 
 // FaultInjector makes task bodies fail with a given probability — the
-// failure-injection harness used to test campaign resilience.
+// memoryless failure-injection harness used to test campaign resilience.
 type FaultInjector struct {
 	rng  *stats.RNG
 	Prob float64
@@ -59,6 +141,60 @@ func (f *FaultInjector) Wrap(name string, body func(ctx *Context) error) func(*C
 		if f.rng.Bool(f.Prob) {
 			f.Injected++
 			return fmt.Errorf("workflow: injected fault in %q", name)
+		}
+		if body == nil {
+			return nil
+		}
+		return body(ctx)
+	}
+}
+
+// TraceInjector fails task attempts according to a faults.Trace: each
+// wrapped task is pinned (round-robin, in wrap order — deterministic) to
+// a node of the trace, attempt k executes in the simulated window
+// [(k-1)·Window, k·Window), and the attempt fails when the trace kills
+// that node inside the window. This feeds machine-level failure traces to
+// the §V campaign retry policy.
+type TraceInjector struct {
+	Trace *faults.Trace
+	// Window is the simulated wall-clock span of one task attempt.
+	Window units.Seconds
+	// Injected counts the faults delivered.
+	Injected int
+
+	mu   sync.Mutex
+	next int // round-robin node assignment cursor
+}
+
+// NewTraceInjector wires a trace to task wrapping with the given
+// per-attempt window.
+func NewTraceInjector(tr *faults.Trace, window units.Seconds) *TraceInjector {
+	if tr == nil || window <= 0 {
+		panic("workflow: trace injector needs a trace and a positive window")
+	}
+	return &TraceInjector{Trace: tr, Window: window}
+}
+
+// Wrap assigns the task a node and returns a body whose k-th attempt
+// fails iff the trace fails that node during the attempt's window.
+func (ti *TraceInjector) Wrap(name string, body func(ctx *Context) error) func(*Context) error {
+	ti.mu.Lock()
+	node := ti.next % ti.Trace.Params.Nodes
+	ti.next++
+	ti.mu.Unlock()
+	attempt := 0
+	var attemptMu sync.Mutex
+	return func(ctx *Context) error {
+		attemptMu.Lock()
+		k := attempt
+		attempt++
+		attemptMu.Unlock()
+		from := units.Seconds(k) * ti.Window
+		if ti.Trace.NodeFailedIn(node, from, from+ti.Window) {
+			ti.mu.Lock()
+			ti.Injected++
+			ti.mu.Unlock()
+			return fmt.Errorf("workflow: node %d failed during %q (attempt %d)", node, name, k+1)
 		}
 		if body == nil {
 			return nil

@@ -4,6 +4,10 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"summitscale/internal/faults"
+	"summitscale/internal/machine"
+	"summitscale/internal/units"
 )
 
 func TestRetrySucceedsEventually(t *testing.T) {
@@ -49,6 +53,125 @@ func TestRetryPolicyValidation(t *testing.T) {
 		}
 	}()
 	RetryPolicy{MaxAttempts: 0}.Wrap("t", nil)
+}
+
+// TestRetryStatsExposed: the policy reports attempt counts and backoff
+// totals instead of swallowing them.
+func TestRetryStatsExposed(t *testing.T) {
+	st := &RetryStats{}
+	p := RetryPolicy{MaxAttempts: 4, Backoff: 10, Stats: st}
+
+	attempts := 0
+	flaky := func(*Context) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}
+	if err := p.Wrap("flaky", flaky)(NewContext()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wrap("dead", func(*Context) error { return errors.New("permanent") })(NewContext()); err == nil {
+		t.Fatal("permanent failure succeeded")
+	}
+
+	s := st.Snapshot()
+	// flaky: 3 attempts, 2 retries, backoff 10+20; dead: 4 attempts,
+	// 3 retries, backoff 10+20+40.
+	if s.Attempts != 7 || s.Retries != 5 || s.Succeeded != 1 || s.Exhausted != 1 {
+		t.Fatalf("snapshot %v", s)
+	}
+	if s.BackoffTotal != 100 {
+		t.Fatalf("backoff total %v, want 100 (exponential: 10+20 and 10+20+40)", s.BackoffTotal)
+	}
+	if !strings.Contains(s.String(), "attempts=7") {
+		t.Fatalf("render %q", s.String())
+	}
+}
+
+// TestRetryStatsConcurrentCampaign: stats stay consistent when the DAG
+// engine runs wrapped tasks from many goroutines.
+func TestRetryStatsConcurrentCampaign(t *testing.T) {
+	st := &RetryStats{}
+	inj := NewFaultInjector(11, 0.3)
+	var injMu = make(chan struct{}, 1) // serialize the injector's RNG
+	p := RetryPolicy{MaxAttempts: 20, Backoff: 1, Stats: st}
+	w := New()
+	for i := 0; i < 16; i++ {
+		name := string(rune('a' + i))
+		w.MustAdd(&Task{Name: name, Run: p.Wrap(name, func(c *Context) error {
+			injMu <- struct{}{}
+			defer func() { <-injMu }()
+			return inj.Wrap(name, nil)(c)
+		})})
+	}
+	if err := w.Run(NewContext()); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Snapshot()
+	if s.Succeeded != 16 {
+		t.Fatalf("succeeded %d of 16: %v", s.Succeeded, s)
+	}
+	if s.Attempts != 16+s.Retries {
+		t.Fatalf("attempt accounting inconsistent: %v", s)
+	}
+}
+
+// TestTraceInjectorDeterministic: the same trace produces the same fault
+// schedule, and tasks pinned to failing nodes fail in their windows.
+func TestTraceInjectorDeterministic(t *testing.T) {
+	params := faults.ParamsFor(machine.Summit(), 8)
+	params.NodeMTBF = 16 * units.Hour // 2h system MTBF on 8 nodes: plenty of failures
+	tr := params.Generate(21, 24*units.Hour)
+	if tr.Count(faults.NodeFailure) == 0 {
+		t.Fatal("trace has no failures; test proves nothing")
+	}
+	run := func() (int, []error) {
+		ti := NewTraceInjector(tr, 30*units.Minute)
+		var errs []error
+		for i := 0; i < 8; i++ {
+			body := ti.Wrap(string(rune('a'+i)), nil)
+			errs = append(errs, body(NewContext()))
+		}
+		return ti.Injected, errs
+	}
+	inj1, errs1 := run()
+	inj2, errs2 := run()
+	if inj1 != inj2 {
+		t.Fatalf("injector not deterministic: %d vs %d", inj1, inj2)
+	}
+	for i := range errs1 {
+		if (errs1[i] == nil) != (errs2[i] == nil) {
+			t.Fatalf("task %d fault schedule differs between runs", i)
+		}
+	}
+}
+
+// TestTraceInjectorRetriesEventuallyClear: a failed attempt occupies its
+// window; later attempts run in later windows where the node (usually)
+// works, so retries drain trace-driven faults.
+func TestTraceInjectorRetriesEventuallyClear(t *testing.T) {
+	params := faults.ParamsFor(machine.Summit(), 4)
+	params.NodeMTBF = 8 * units.Hour
+	tr := params.Generate(5, 12*units.Hour)
+	ti := NewTraceInjector(tr, 1*units.Hour)
+	st := &RetryStats{}
+	p := RetryPolicy{MaxAttempts: 50, Backoff: 30, Stats: st}
+	w := New()
+	for _, name := range []string{"stage", "train", "analyze", "publish"} {
+		w.MustAdd(&Task{Name: name, Run: p.Wrap(name, ti.Wrap(name, nil))})
+	}
+	if err := w.Run(NewContext()); err != nil {
+		t.Fatalf("campaign failed despite retries: %v", err)
+	}
+	s := st.Snapshot()
+	if s.Succeeded != 4 {
+		t.Fatalf("snapshot %v", s)
+	}
+	if ti.Injected != s.Retries {
+		t.Fatalf("injected %d faults but policy recorded %d retries", ti.Injected, s.Retries)
+	}
 }
 
 func TestFaultInjectorDeliversFaults(t *testing.T) {
