@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 build vet fmt test race bench bench-json bench-check repro examples figures clean help
+.PHONY: all tier1 build vet fmt test race bench bench-json bench-check trace repro examples figures clean help
 
 all: build vet test
 
@@ -12,8 +12,9 @@ help:
 	@echo "  all        build + vet + test"
 	@echo "  tier1      build + vet + gofmt check + test + race (the CI gate)"
 	@echo "  bench      every benchmark with -benchmem"
-	@echo "  bench-json hot-path benchmarks (RunAll, MDForces, TrainStepAlloc)"
-	@echo "             -> BENCH_hotpath.json via cmd/summit-bench"
+	@echo "  bench-json hot-path benchmarks (RunAll, MDForces, TrainStepAlloc,"
+	@echo "             ObsHotPath) -> BENCH_hotpath.json via cmd/summit-bench"
+	@echo "  trace      RS2 campaign trace -> out.json (Chrome trace-event)"
 	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
 	@echo "             vs the committed BENCH_hotpath.json"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
@@ -46,9 +47,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-path numbers as JSON: the sequential-vs-parallel experiment engine,
-# the sharded MD force kernel, and the training-step allocation pair.
+# the sharded MD force kernel, the training-step allocation pair, and the
+# obs instrumentation overhead (span + counter + series per iteration).
 bench-json:
-	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
 
@@ -56,8 +58,14 @@ bench-json:
 # committed baseline; exits 1 beyond +-30% ns/op or allocs/op. Timings on
 # shared runners are noisy, so CI runs this job non-blocking.
 bench-check:
-	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench -check BENCH_hotpath.json
+
+# The §V resilience campaign's simulated-clock trace, viewable in
+# chrome://tracing or Perfetto. Byte-deterministic across runs and -j.
+trace:
+	$(GO) run ./cmd/summit-repro -experiment RS2 -trace out.json -metrics >/dev/null
+	@echo "wrote out.json"
 
 # Full reproduction report: every table/figure/study, paper vs measured.
 repro:

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'RunAll|MDForces|TrainStepAlloc' -benchmem ./... | summit-bench
+//	go test -run '^$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath' -benchmem ./... | summit-bench
 //	go test -run '^$' -bench '...' -benchmem ./... | summit-bench -check BENCH_hotpath.json
 package main
 

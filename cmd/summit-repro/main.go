@@ -9,6 +9,9 @@
 //	summit-repro -md                   # markdown paper-vs-measured table
 //	summit-repro -platform frontier    # replay the machine-aware studies
 //	summit-repro -platforms            # list registered machines
+//	summit-repro -experiment RS2       # run one experiment by ID
+//	summit-repro -experiment RS2 -trace out.json -metrics
+//	                                   # + Chrome trace & metrics summary
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 
 	"summitscale/internal/core"
+	"summitscale/internal/obs"
 	"summitscale/internal/platform"
 )
 
@@ -27,6 +31,9 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "experiment workers; 1 runs the plain sequential path (output is byte-identical either way)")
 	plat := flag.String("platform", "summit", "machine to reproduce on ("+strings.Join(platform.Names(), ", ")+"); non-baseline machines replay the sysreq, scaling, and resilience studies")
 	list := flag.Bool("platforms", false, "list registered platforms and exit")
+	expID := flag.String("experiment", "", "run a single experiment by ID (e.g. RS2) instead of the full registry")
+	traceOut := flag.String("trace", "", "write the run's simulated-clock spans as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the obs metrics summary and trace summary after the report")
 	flag.Parse()
 
 	if *list {
@@ -47,20 +54,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One observer spans the whole run: the obs layer is concurrency-safe
+	// and renders byte-deterministically regardless of -j or scheduling.
+	var ob *obs.Observer
+	if *traceOut != "" || *metrics {
+		ob = obs.New()
+	}
+
 	var report string
 	var pass bool
-	if p.IsPaperBaseline() {
+	switch {
+	case *expID != "":
+		e, ok := core.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "summit-repro: unknown experiment %q\n", *expID)
+			os.Exit(2)
+		}
+		r := e.RunWith(ob)
+		report, pass = core.RenderResult(e, r), r.Pass()
+	case p.IsPaperBaseline():
 		// The full registry (tables, figures, scaling, sysreq, workflows,
 		// resilience) carries the paper's reference values on the baseline.
-		report, pass = core.RunAllParallel(*jobs)
-	} else {
+		report, pass = core.RunAllObserved(*jobs, ob)
+	default:
 		// Off-baseline: replay the machine-aware studies on p.
 		exps := append(core.SysreqExperimentsOn(p), core.ScalingExperimentsOn(p)...)
 		exps = append(exps, core.ResilienceExperimentsOn(p)...)
 		var b strings.Builder
 		pass = true
 		for _, e := range exps {
-			r := e.Run()
+			r := e.RunWith(ob)
 			b.WriteString(core.RenderResult(e, r))
 			b.WriteString("\n")
 			if !r.Pass() {
@@ -70,6 +93,17 @@ func main() {
 		report = b.String()
 	}
 	fmt.Print(report)
+	if *traceOut != "" {
+		if err := ob.WriteChromeTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "summit-repro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("summit-repro: wrote trace to %s\n", *traceOut)
+	}
+	if *metrics {
+		fmt.Print(ob.Trace.Summary())
+		fmt.Print(ob.Metrics.Render())
+	}
 	if !pass {
 		fmt.Fprintln(os.Stderr, "summit-repro: one or more metrics deviate from the paper")
 		os.Exit(1)

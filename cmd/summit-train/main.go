@@ -7,6 +7,7 @@
 //	summit-train -model cnn -ranks 4 -epochs 10 -opt lamb
 //	summit-train -model mlp -ranks 8 -opt lars -fp16
 //	summit-train -model bert -ranks 2 -steps 30
+//	summit-train -model mlp -ranks 4 -trace train.json -metrics
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"summitscale/internal/ddl"
 	"summitscale/internal/mp"
 	"summitscale/internal/nn"
+	"summitscale/internal/obs"
 	"summitscale/internal/optim"
 	"summitscale/internal/platform"
 	"summitscale/internal/stats"
@@ -59,6 +61,8 @@ func main() {
 	plat := flag.String("platform", "summit", "machine whose node shape sizes -hier -1 islands")
 	ckpt := flag.String("ckpt", "", "checkpoint path: save after training, load first if present")
 	seed := flag.Uint64("seed", 1, "seed")
+	traceOut := flag.String("trace", "", "write per-rank step/allreduce spans as Chrome trace-event JSON to this file (simulated step clock: 1 s per step)")
+	metrics := flag.Bool("metrics", false, "print the obs metrics summary after training")
 	flag.Parse()
 
 	p, err := platform.Lookup(*plat)
@@ -83,6 +87,14 @@ func main() {
 	if *fp16 {
 		cfg.Compression = ddl.FP16
 	}
+	var ob *obs.Observer
+	if *traceOut != "" || *metrics {
+		ob = obs.New()
+		cfg.Obs = ob
+		// One simulated second per step puts every rank's step/allreduce
+		// spans on a common clock regardless of real execution speed.
+		cfg.StepTime = 1
+	}
 	if *hier > 0 {
 		group := *hier
 		cfg.Allreduce = func(c *mp.Comm, g []float64) []float64 {
@@ -103,6 +115,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "summit-train: unknown model %q\n", *model)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if err := ob.WriteChromeTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "summit-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace to %s\n", *traceOut)
+	}
+	if *metrics {
+		fmt.Print(ob.Trace.Summary())
+		fmt.Print(ob.Metrics.Render())
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"summitscale/internal/obs"
 	"summitscale/internal/parallel"
 )
 
@@ -68,6 +69,19 @@ type Experiment struct {
 	Title      string
 	PaperClaim string
 	Run        func() Result
+	// RunObs, if non-nil, is Run recording spans and metrics into an
+	// observer as it goes. It must return a Result identical to Run's —
+	// observation never changes the report (the goldens depend on it).
+	RunObs func(ob *obs.Observer) Result
+}
+
+// RunWith executes the experiment, recording into ob when the experiment
+// is instrumented and ob is non-nil; otherwise it is exactly Run.
+func (e Experiment) RunWith(ob *obs.Observer) Result {
+	if e.RunObs != nil && ob != nil {
+		return e.RunObs(ob)
+	}
+	return e.Run()
 }
 
 // Experiments returns the full registry in paper order. The registry is
@@ -141,11 +155,19 @@ func RunAll() (string, bool) {
 // concatenated in order, so the output is byte-identical to RunAll()
 // regardless of worker count or scheduling.
 func RunAllParallel(workers int) (string, bool) {
+	return RunAllObserved(workers, nil)
+}
+
+// RunAllObserved is RunAllParallel with every instrumented experiment
+// recording into ob (shared across experiments and workers — the obs
+// layer is concurrency-safe and renders byte-deterministically at any
+// worker count). A nil observer makes it exactly RunAllParallel.
+func RunAllObserved(workers int, ob *obs.Observer) (string, bool) {
 	exps := Experiments()
 	sections := make([]string, len(exps))
 	passed := make([]bool, len(exps))
 	parallel.NewPool(workers).ForEach(len(exps), func(i int) {
-		r := exps[i].Run()
+		r := exps[i].RunWith(ob)
 		sections[i] = RenderResult(exps[i], r) + "\n"
 		passed[i] = r.Pass()
 	})

@@ -10,6 +10,7 @@ import (
 	"summitscale/internal/ddl"
 	"summitscale/internal/faults"
 	"summitscale/internal/nn"
+	"summitscale/internal/obs"
 	"summitscale/internal/optim"
 	"summitscale/internal/perf"
 	"summitscale/internal/platform"
@@ -87,69 +88,78 @@ func ckptShape(p platform.Platform, job perf.Job) faults.RunShape {
 // failure traces and compare the measured optimum with Young/Daly.
 func checkpointSweepExperiment(p platform.Platform) Experiment {
 	ref := p.IsPaperBaseline()
+	run := func(ob *obs.Observer) Result {
+		params := faults.ParamsFor(p.Machine, 0)
+		var metrics []Metric
+		var detail strings.Builder
+		fmt.Fprintf(&detail, "  failure model: per-node MTBF %v -> system MTBF %v at %d nodes\n",
+			params.NodeMTBF, params.SystemMTBF(), params.Nodes)
+
+		for _, sc := range []struct {
+			id    string
+			study ScalingStudy
+		}{
+			{"Kurth", studyByID(p, "S1")},
+			{"Blanchard", studyByID(p, "S5")},
+		} {
+			job := sc.study.Job
+			shape := ckptShape(p, job)
+			jp := faults.ParamsFor(p.Machine, job.Nodes)
+			daly := faults.DalyInterval(shape.CheckpointCost, jp.SystemMTBF())
+
+			// Common random numbers: the same trace set across every
+			// interval keeps the sweep smooth and the argmin stable.
+			traces := make([]*faults.Trace, 160)
+			for i := range traces {
+				traces[i] = jp.Generate(resilienceSeed+uint64(i), 2*shape.TotalWork)
+			}
+			grid := faults.GeometricIntervals(daly/8, daly*8, 33)
+			pts := faults.Sweep(shape, grid, traces)
+			best := faults.Optimum(pts)
+
+			if ob != nil && sc.id == "Kurth" {
+				// Representative replay for the trace: the measured-optimum
+				// cadence against the first trace, emitting work/checkpoint/
+				// lost-work/restart spans on the job clock.
+				faults.SimulateObserved(shape, best.Interval, traces[0], ob)
+			}
+
+			idealEff := 1 / (1 + faults.DalyOverhead(daly, shape.CheckpointCost, jp.SystemMTBF()))
+			metrics = append(metrics,
+				Metric{
+					Name:     sc.id + ": measured/Daly optimal interval",
+					Paper:    1,
+					Measured: float64(best.Interval) / float64(daly),
+					Unit:     "ratio",
+					Tol:      0.15,
+				},
+				refMetric(ref, Metric{
+					Name:     sc.id + ": achieved/ideal throughput",
+					Paper:    1,
+					Measured: best.Efficiency / idealEff,
+					Unit:     "ratio",
+					Tol:      0.05,
+				}),
+				Metric{
+					Name:     sc.id + ": failures per 24h run",
+					Measured: best.MeanFailures,
+					Unit:     "faults",
+				},
+			)
+			fmt.Fprintf(&detail, "  -- %s (%s, %d nodes): delta=%.1fs restart=%.0fs MTBF=%v\n",
+				sc.id, job.Model.Name, job.Nodes, float64(shape.CheckpointCost),
+				float64(shape.RestartCost), jp.SystemMTBF())
+			detail.WriteString(renderSweepCompact(pts, daly))
+		}
+		return Result{Metrics: metrics, Detail: detail.String()}
+	}
 	return Experiment{
 		ID:    "RS1",
 		Title: "§IV-B resilience — checkpoint/restart under node failures",
 		PaperClaim: "near-full-machine runs survive node failures every few hours; " +
 			"checkpoint cadence balances write cost against lost work (Young/Daly)",
-		Run: func() Result {
-			params := faults.ParamsFor(p.Machine, 0)
-			var metrics []Metric
-			var detail strings.Builder
-			fmt.Fprintf(&detail, "  failure model: per-node MTBF %v -> system MTBF %v at %d nodes\n",
-				params.NodeMTBF, params.SystemMTBF(), params.Nodes)
-
-			for _, sc := range []struct {
-				id    string
-				study ScalingStudy
-			}{
-				{"Kurth", studyByID(p, "S1")},
-				{"Blanchard", studyByID(p, "S5")},
-			} {
-				job := sc.study.Job
-				shape := ckptShape(p, job)
-				jp := faults.ParamsFor(p.Machine, job.Nodes)
-				daly := faults.DalyInterval(shape.CheckpointCost, jp.SystemMTBF())
-
-				// Common random numbers: the same trace set across every
-				// interval keeps the sweep smooth and the argmin stable.
-				traces := make([]*faults.Trace, 160)
-				for i := range traces {
-					traces[i] = jp.Generate(resilienceSeed+uint64(i), 2*shape.TotalWork)
-				}
-				grid := faults.GeometricIntervals(daly/8, daly*8, 33)
-				pts := faults.Sweep(shape, grid, traces)
-				best := faults.Optimum(pts)
-
-				idealEff := 1 / (1 + faults.DalyOverhead(daly, shape.CheckpointCost, jp.SystemMTBF()))
-				metrics = append(metrics,
-					Metric{
-						Name:     sc.id + ": measured/Daly optimal interval",
-						Paper:    1,
-						Measured: float64(best.Interval) / float64(daly),
-						Unit:     "ratio",
-						Tol:      0.15,
-					},
-					refMetric(ref, Metric{
-						Name:     sc.id + ": achieved/ideal throughput",
-						Paper:    1,
-						Measured: best.Efficiency / idealEff,
-						Unit:     "ratio",
-						Tol:      0.05,
-					}),
-					Metric{
-						Name:     sc.id + ": failures per 24h run",
-						Measured: best.MeanFailures,
-						Unit:     "faults",
-					},
-				)
-				fmt.Fprintf(&detail, "  -- %s (%s, %d nodes): delta=%.1fs restart=%.0fs MTBF=%v\n",
-					sc.id, job.Model.Name, job.Nodes, float64(shape.CheckpointCost),
-					float64(shape.RestartCost), jp.SystemMTBF())
-				detail.WriteString(renderSweepCompact(pts, daly))
-			}
-			return Result{Metrics: metrics, Detail: detail.String()}
-		},
+		Run:    func() Result { return run(nil) },
+		RunObs: run,
 	}
 }
 
@@ -191,93 +201,98 @@ func studyByID(p platform.Platform, id string) ScalingStudy {
 // run that loses a rank mid-flight, restores from its checkpoint, and
 // still matches uninterrupted training.
 func campaignResilienceExperiment(p platform.Platform) Experiment {
+	run := func(ob *obs.Observer) Result {
+		var metrics []Metric
+		var detail strings.Builder
+
+		// --- Campaign under a trace. A 32-node steering allocation;
+		// the per-node interrupt rate is scaled 1000x above the
+		// hardware MTBF because campaign tasks also die to queue
+		// eviction and preemption, not just node crashes.
+		cp := faults.ParamsFor(p.Machine, 32)
+		cp.NodeMTBF /= 1000
+		trace := cp.Generate(resilienceSeed, 48*units.Hour)
+
+		inj := workflow.NewTraceInjector(trace, 6*units.Hour)
+		inj.Obs = ob
+		st := &workflow.RetryStats{}
+		policy := workflow.RetryPolicy{MaxAttempts: 25, Backoff: 30, Stats: st, Obs: ob}
+		in := &workflow.Instrument{Obs: ob, Window: 6 * units.Hour}
+		w := workflow.New()
+		stages := []string{"stage-in", "simulate", "embed", "select", "train", "resample", "analyze", "publish"}
+		for i, name := range stages {
+			t := &workflow.Task{Name: name, Run: policy.Wrap(name, in.Wrap(name, inj.Wrap(name, nil)))}
+			if i > 0 {
+				t.Deps = []string{stages[i-1]}
+			}
+			w.MustAdd(t)
+		}
+		completed := 1.0
+		if err := w.Run(workflow.NewContext()); err != nil {
+			completed = 0
+		}
+		snap := st.Snapshot()
+		metrics = append(metrics,
+			Metric{Name: "campaign completes under faults (1=yes)", Paper: 1,
+				Measured: completed, Unit: "bool", Tol: 1e-9},
+			Metric{Name: "task faults injected from trace", Measured: float64(inj.Injected), Unit: "faults"},
+			Metric{Name: "retry attempts across campaign", Measured: float64(snap.Attempts), Unit: "attempts"},
+			Metric{Name: "simulated backoff total", Measured: float64(snap.BackoffTotal), Unit: "s"},
+		)
+		fmt.Fprintf(&detail, "  campaign trace: %s\n  retry policy:   %s\n", trace.Summary(), snap)
+
+		// --- Elastic training: 4 ranks, 6 steps, checkpoint every 2;
+		// the trace's first failure (mapped onto the step clock, one
+		// step per 10 simulated minutes) kills two ranks — the shrunken
+		// world must still divide the 8-sample batch. The committed
+		// model must match uninterrupted serial training exactly.
+		const steps, lr = 6, 0.2
+		ep := faults.ParamsFor(p.Machine, 4)
+		ep.NodeMTBF = 8 * units.Hour // unit-scale demonstration run
+		etrace := elasticTraceWithFailure(ep, 10*units.Minute, steps)
+		failStep := int(etrace.FailureTimes()[0] / (10 * units.Minute))
+		dir, err := os.MkdirTemp("", "summitscale-elastic-")
+		if err != nil {
+			return Result{Metrics: []Metric{{Name: "elastic tempdir failed", Paper: 0, Measured: 1, Tol: 1e-9}},
+				Detail: err.Error()}
+		}
+		defer os.RemoveAll(dir)
+
+		serial := elasticSerialParams(steps, lr)
+		res, err := ddl.RunElastic(ddl.ElasticConfig{
+			Ranks: 4, Steps: steps, CheckpointEvery: 2,
+			FailAtStep: map[int]int{failStep: 2},
+			Dir:        dir,
+			Obs:        ob, StepTime: 10 * units.Minute,
+		}, elasticModel, func() optim.Optimizer { return optim.NewSGD(lr) }, elasticLossFn())
+		if err != nil {
+			return Result{Metrics: []Metric{{Name: "elastic run failed", Paper: 0, Measured: 1, Tol: 1e-9}},
+				Detail: err.Error()}
+		}
+		maxDiff := 0.0
+		for i := range serial {
+			if d := math.Abs(res.FinalParams[i] - serial[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		metrics = append(metrics,
+			Metric{Name: "elastic vs uninterrupted max param delta", Paper: 0,
+				Measured: maxDiff, Unit: "", Tol: 1e-9},
+			Metric{Name: "lost steps re-done after restore", Measured: float64(res.LostSteps), Unit: "steps"},
+			Metric{Name: "surviving ranks after failure", Measured: float64(res.FinalRanks), Unit: "ranks"},
+		)
+		fmt.Fprintf(&detail,
+			"  elastic run:    rank failure at step %d of %d; %d restore(s); %d -> %d ranks; %d step(s) of lost work re-done\n",
+			failStep, steps, res.Restores, 4, res.FinalRanks, res.LostSteps)
+		return Result{Metrics: metrics, Detail: detail.String()}
+	}
 	return Experiment{
 		ID:    "RS2",
 		Title: "§V resilience — fault-injected campaign retries + elastic training",
 		PaperClaim: "campaign orchestrators retry failed stages through node loss; " +
 			"training restores from checkpoints without changing the learned model",
-		Run: func() Result {
-			var metrics []Metric
-			var detail strings.Builder
-
-			// --- Campaign under a trace. A 32-node steering allocation;
-			// the per-node interrupt rate is scaled 1000x above the
-			// hardware MTBF because campaign tasks also die to queue
-			// eviction and preemption, not just node crashes.
-			cp := faults.ParamsFor(p.Machine, 32)
-			cp.NodeMTBF /= 1000
-			trace := cp.Generate(resilienceSeed, 48*units.Hour)
-
-			inj := workflow.NewTraceInjector(trace, 6*units.Hour)
-			st := &workflow.RetryStats{}
-			policy := workflow.RetryPolicy{MaxAttempts: 25, Backoff: 30, Stats: st}
-			w := workflow.New()
-			stages := []string{"stage-in", "simulate", "embed", "select", "train", "resample", "analyze", "publish"}
-			for i, name := range stages {
-				t := &workflow.Task{Name: name, Run: policy.Wrap(name, inj.Wrap(name, nil))}
-				if i > 0 {
-					t.Deps = []string{stages[i-1]}
-				}
-				w.MustAdd(t)
-			}
-			completed := 1.0
-			if err := w.Run(workflow.NewContext()); err != nil {
-				completed = 0
-			}
-			snap := st.Snapshot()
-			metrics = append(metrics,
-				Metric{Name: "campaign completes under faults (1=yes)", Paper: 1,
-					Measured: completed, Unit: "bool", Tol: 1e-9},
-				Metric{Name: "task faults injected from trace", Measured: float64(inj.Injected), Unit: "faults"},
-				Metric{Name: "retry attempts across campaign", Measured: float64(snap.Attempts), Unit: "attempts"},
-				Metric{Name: "simulated backoff total", Measured: float64(snap.BackoffTotal), Unit: "s"},
-			)
-			fmt.Fprintf(&detail, "  campaign trace: %s\n  retry policy:   %s\n", trace.Summary(), snap)
-
-			// --- Elastic training: 4 ranks, 6 steps, checkpoint every 2;
-			// the trace's first failure (mapped onto the step clock, one
-			// step per 10 simulated minutes) kills two ranks — the shrunken
-			// world must still divide the 8-sample batch. The committed
-			// model must match uninterrupted serial training exactly.
-			const steps, lr = 6, 0.2
-			ep := faults.ParamsFor(p.Machine, 4)
-			ep.NodeMTBF = 8 * units.Hour // unit-scale demonstration run
-			etrace := elasticTraceWithFailure(ep, 10*units.Minute, steps)
-			failStep := int(etrace.FailureTimes()[0] / (10 * units.Minute))
-			dir, err := os.MkdirTemp("", "summitscale-elastic-")
-			if err != nil {
-				return Result{Metrics: []Metric{{Name: "elastic tempdir failed", Paper: 0, Measured: 1, Tol: 1e-9}},
-					Detail: err.Error()}
-			}
-			defer os.RemoveAll(dir)
-
-			serial := elasticSerialParams(steps, lr)
-			res, err := ddl.RunElastic(ddl.ElasticConfig{
-				Ranks: 4, Steps: steps, CheckpointEvery: 2,
-				FailAtStep: map[int]int{failStep: 2},
-				Dir:        dir,
-			}, elasticModel, func() optim.Optimizer { return optim.NewSGD(lr) }, elasticLossFn())
-			if err != nil {
-				return Result{Metrics: []Metric{{Name: "elastic run failed", Paper: 0, Measured: 1, Tol: 1e-9}},
-					Detail: err.Error()}
-			}
-			maxDiff := 0.0
-			for i := range serial {
-				if d := math.Abs(res.FinalParams[i] - serial[i]); d > maxDiff {
-					maxDiff = d
-				}
-			}
-			metrics = append(metrics,
-				Metric{Name: "elastic vs uninterrupted max param delta", Paper: 0,
-					Measured: maxDiff, Unit: "", Tol: 1e-9},
-				Metric{Name: "lost steps re-done after restore", Measured: float64(res.LostSteps), Unit: "steps"},
-				Metric{Name: "surviving ranks after failure", Measured: float64(res.FinalRanks), Unit: "ranks"},
-			)
-			fmt.Fprintf(&detail,
-				"  elastic run:    rank failure at step %d of %d; %d restore(s); %d -> %d ranks; %d step(s) of lost work re-done\n",
-				failStep, steps, res.Restores, 4, res.FinalRanks, res.LostSteps)
-			return Result{Metrics: metrics, Detail: detail.String()}
-		},
+		Run:    func() Result { return run(nil) },
+		RunObs: run,
 	}
 }
 

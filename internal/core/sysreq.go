@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"summitscale/internal/models"
+	"summitscale/internal/obs"
 	"summitscale/internal/perf"
 	"summitscale/internal/platform"
 	"summitscale/internal/storage"
@@ -101,57 +102,59 @@ func ioExperiment(p platform.Platform) Experiment {
 	if !ref {
 		claim = fmt.Sprintf("§VI-B I/O analysis replayed on %s (no paper reference values)", p.Name)
 	}
+	run := func(ob *obs.Observer) Result {
+		mach := p.Machine
+		m := models.ResNet50()
+		req := storage.TrainingReadRequirement(mach.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes)
+		gpfs := p.GPFS()
+		gpfsBW := gpfs.ReadBW(mach.Nodes)
+		_, gpfsFrac := storage.Sustains(gpfs, mach.Nodes, req)
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "Training input requirement vs. available bandwidth (full %s):\n", mach.Name)
+		fmt.Fprintf(&b, "  required (ResNet-50, %d GPUs x %.0f samples/s x %v): %v\n",
+			mach.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes, req)
+		fmt.Fprintf(&b, "  GPFS aggregate read:  %v  -> sustains %.0f%% of need\n", gpfsBW, 100*gpfsFrac)
+
+		ms := []Metric{
+			refMetric(ref, Metric{Name: "required aggregate read bw", Paper: 20e12, Measured: float64(req), Unit: "B/s", Tol: 0.1}),
+			refMetric(ref, Metric{Name: "GPFS aggregate read bw", Paper: 2.5e12, Measured: float64(gpfsBW), Unit: "B/s", Tol: 0.01}),
+		}
+		if p.HasNodeLocal() {
+			nvme := p.NVMe()
+			nvmeBW := nvme.ReadBW(mach.Nodes)
+			okNVMe, _ := storage.Sustains(nvme, mach.Nodes, req)
+			fmt.Fprintf(&b, "  NVMe aggregate read:  %v  -> sustains training: %v\n", nvmeBW, okNVMe)
+			stager := p.Stager()
+			for _, ds := range []units.Bytes{10 * units.TB, 200 * units.TB} {
+				plan, err := stager.PlanFor(ds, mach.Nodes)
+				if err != nil {
+					fmt.Fprintf(&b, "  staging %v: %v\n", ds, err)
+					continue
+				}
+				fmt.Fprintf(&b, "  staging %v (plan %d): %v, per-epoch shuffle %v\n",
+					ds, plan, stager.ObservedStagingTime(ob, ds, mach.Nodes, plan),
+					stager.EpochShuffleTime(ds, mach.Nodes, plan))
+			}
+			ms = append(ms,
+				refMetric(ref, Metric{Name: "NVMe aggregate read bw", Paper: 27e12, Measured: float64(nvmeBW), Unit: "B/s", Tol: 0.05}),
+				refMetric(ref, Metric{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9}),
+				refMetric(ref, Metric{Name: "NVMe sustains (1=yes)", Paper: 1, Measured: boolMetric(okNVMe), Tol: 1e-9}),
+			)
+		} else {
+			b.WriteString("  no node-local storage on this machine; the shared FS is the only input path\n")
+			ms = append(ms,
+				refMetric(ref, Metric{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9}),
+			)
+		}
+		return Result{Metrics: ms, Detail: b.String()}
+	}
 	return Experiment{
 		ID:         "IO1",
 		Title:      fmt.Sprintf("§VI-B I/O — training input bandwidth on full %s", p.Name),
 		PaperClaim: claim,
-		Run: func() Result {
-			mach := p.Machine
-			m := models.ResNet50()
-			req := storage.TrainingReadRequirement(mach.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes)
-			gpfs := p.GPFS()
-			gpfsBW := gpfs.ReadBW(mach.Nodes)
-			_, gpfsFrac := storage.Sustains(gpfs, mach.Nodes, req)
-
-			var b strings.Builder
-			fmt.Fprintf(&b, "Training input requirement vs. available bandwidth (full %s):\n", mach.Name)
-			fmt.Fprintf(&b, "  required (ResNet-50, %d GPUs x %.0f samples/s x %v): %v\n",
-				mach.TotalGPUs(), m.SingleGPUThroughput, m.RecordBytes, req)
-			fmt.Fprintf(&b, "  GPFS aggregate read:  %v  -> sustains %.0f%% of need\n", gpfsBW, 100*gpfsFrac)
-
-			ms := []Metric{
-				refMetric(ref, Metric{Name: "required aggregate read bw", Paper: 20e12, Measured: float64(req), Unit: "B/s", Tol: 0.1}),
-				refMetric(ref, Metric{Name: "GPFS aggregate read bw", Paper: 2.5e12, Measured: float64(gpfsBW), Unit: "B/s", Tol: 0.01}),
-			}
-			if p.HasNodeLocal() {
-				nvme := p.NVMe()
-				nvmeBW := nvme.ReadBW(mach.Nodes)
-				okNVMe, _ := storage.Sustains(nvme, mach.Nodes, req)
-				fmt.Fprintf(&b, "  NVMe aggregate read:  %v  -> sustains training: %v\n", nvmeBW, okNVMe)
-				stager := p.Stager()
-				for _, ds := range []units.Bytes{10 * units.TB, 200 * units.TB} {
-					plan, err := stager.PlanFor(ds, mach.Nodes)
-					if err != nil {
-						fmt.Fprintf(&b, "  staging %v: %v\n", ds, err)
-						continue
-					}
-					fmt.Fprintf(&b, "  staging %v (plan %d): %v, per-epoch shuffle %v\n",
-						ds, plan, stager.StagingTime(ds, mach.Nodes, plan),
-						stager.EpochShuffleTime(ds, mach.Nodes, plan))
-				}
-				ms = append(ms,
-					refMetric(ref, Metric{Name: "NVMe aggregate read bw", Paper: 27e12, Measured: float64(nvmeBW), Unit: "B/s", Tol: 0.05}),
-					refMetric(ref, Metric{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9}),
-					refMetric(ref, Metric{Name: "NVMe sustains (1=yes)", Paper: 1, Measured: boolMetric(okNVMe), Tol: 1e-9}),
-				)
-			} else {
-				b.WriteString("  no node-local storage on this machine; the shared FS is the only input path\n")
-				ms = append(ms,
-					refMetric(ref, Metric{Name: "GPFS sustains (1=yes)", Paper: 0, Measured: boolMetric(gpfsFrac >= 1), Tol: 1e-9}),
-				)
-			}
-			return Result{Metrics: ms, Detail: b.String()}
-		},
+		Run:        func() Result { return run(nil) },
+		RunObs:     run,
 	}
 }
 
@@ -165,49 +168,59 @@ func commExperiment(p platform.Platform) Experiment {
 	if !ref {
 		claim = fmt.Sprintf("§VI-B communication analysis replayed on %s", p.Name)
 	}
+	run := func(ob *obs.Observer) Result {
+		f := p.Fabric()
+		mach := p.Machine
+		resnet := models.ResNet50()
+		bert := models.BERTLarge()
+		bertNodes := minInt(4032, mach.Nodes)
+		selNodes := minInt(4096, mach.Nodes)
+		tRes := f.ObservedRingAllReduce(ob, "comm", 0, mach.Nodes, resnet.GradientBytes())
+		tBert := f.ObservedRingAllReduce(ob, "comm", tRes, bertNodes, bert.GradientBytes())
+		if ob != nil {
+			// Replay the BERT-large allreduce with a mid-collective node
+			// loss so the trace shows the wasted/rebuild/redo decomposition
+			// (§IV-B's failure mode). Gated on the observer: the report
+			// itself never depends on it.
+			f.ObservedAllReduceWithNodeLoss(ob, "comm-loss", 0,
+				bertNodes, bert.GradientBytes(), 0.5, 0.5)
+		}
+		algoBW := f.RingAlgorithmBW(mach.Nodes, units.Bytes(1*units.GB))
+		bertCompute := bert.StepComputeTime()
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "Ring allreduce on %s fabric (per-device gradients):\n", mach.Name)
+		fmt.Fprintf(&b, "  algorithm bandwidth (large msgs): %v\n", algoBW)
+		fmt.Fprintf(&b, "  %-12s %10v gradient -> %v\n", resnet.Name, resnet.GradientBytes(), tRes)
+		fmt.Fprintf(&b, "  %-12s %10v gradient -> %v (per-batch compute %v)\n",
+			bert.Name, bert.GradientBytes(), tBert, bertCompute)
+		fmt.Fprintf(&b, "  allreduce algorithm selection by message size (%d nodes):\n", selNodes)
+		for _, sz := range []units.Bytes{1 * units.KB, 1 * units.MB, 100 * units.MB, 1.4 * units.GB} {
+			algo, t := f.BestAllReduce(selNodes, sz)
+			fmt.Fprintf(&b, "    %10v -> %-18s %v\n", sz, algo, t)
+		}
+		ms := []Metric{
+			refMetric(ref, Metric{Name: "ring algorithm bandwidth", Paper: 12.5e9, Measured: float64(algoBW), Unit: "B/s", Tol: 0.1}),
+			refMetric(ref, Metric{Name: "ResNet-50 allreduce time", Paper: 0.008, Measured: float64(tRes), Unit: "s", Tol: 0.25}),
+			refMetric(ref, Metric{Name: "BERT-large allreduce time", Paper: 0.110, Measured: float64(tBert), Unit: "s", Tol: 0.15}),
+			refMetric(ref, Metric{Name: "BERT comm comparable to compute (1=yes)", Paper: 1,
+				Measured: boolMetric(float64(tBert) > 0.5*float64(bertCompute)), Tol: 1e-9}),
+		}
+		if !ref {
+			// The baseline report is byte-frozen by the golden tests, so
+			// the explicit crossover point is surfaced only on the other
+			// machines, where it is the headline difference.
+			cross := f.RingTreeCrossover(selNodes)
+			fmt.Fprintf(&b, "  ring/recursive-doubling crossover at %d nodes: %v\n", selNodes, cross)
+			ms = append(ms, Metric{Name: "ring/doubling crossover message size", Measured: float64(cross), Unit: "B"})
+		}
+		return Result{Metrics: ms, Detail: b.String()}
+	}
 	return Experiment{
 		ID:         "C1",
 		Title:      "§VI-B communication — allreduce cost vs model size",
 		PaperClaim: claim,
-		Run: func() Result {
-			f := p.Fabric()
-			mach := p.Machine
-			resnet := models.ResNet50()
-			bert := models.BERTLarge()
-			bertNodes := minInt(4032, mach.Nodes)
-			selNodes := minInt(4096, mach.Nodes)
-			tRes := f.RingAllReduce(mach.Nodes, resnet.GradientBytes())
-			tBert := f.RingAllReduce(bertNodes, bert.GradientBytes())
-			algoBW := f.RingAlgorithmBW(mach.Nodes, units.Bytes(1*units.GB))
-			bertCompute := bert.StepComputeTime()
-
-			var b strings.Builder
-			fmt.Fprintf(&b, "Ring allreduce on %s fabric (per-device gradients):\n", mach.Name)
-			fmt.Fprintf(&b, "  algorithm bandwidth (large msgs): %v\n", algoBW)
-			fmt.Fprintf(&b, "  %-12s %10v gradient -> %v\n", resnet.Name, resnet.GradientBytes(), tRes)
-			fmt.Fprintf(&b, "  %-12s %10v gradient -> %v (per-batch compute %v)\n",
-				bert.Name, bert.GradientBytes(), tBert, bertCompute)
-			fmt.Fprintf(&b, "  allreduce algorithm selection by message size (%d nodes):\n", selNodes)
-			for _, sz := range []units.Bytes{1 * units.KB, 1 * units.MB, 100 * units.MB, 1.4 * units.GB} {
-				algo, t := f.BestAllReduce(selNodes, sz)
-				fmt.Fprintf(&b, "    %10v -> %-18s %v\n", sz, algo, t)
-			}
-			ms := []Metric{
-				refMetric(ref, Metric{Name: "ring algorithm bandwidth", Paper: 12.5e9, Measured: float64(algoBW), Unit: "B/s", Tol: 0.1}),
-				refMetric(ref, Metric{Name: "ResNet-50 allreduce time", Paper: 0.008, Measured: float64(tRes), Unit: "s", Tol: 0.25}),
-				refMetric(ref, Metric{Name: "BERT-large allreduce time", Paper: 0.110, Measured: float64(tBert), Unit: "s", Tol: 0.15}),
-				refMetric(ref, Metric{Name: "BERT comm comparable to compute (1=yes)", Paper: 1,
-					Measured: boolMetric(float64(tBert) > 0.5*float64(bertCompute)), Tol: 1e-9}),
-			}
-			if !ref {
-				// The baseline report is byte-frozen by the golden tests, so
-				// the explicit crossover point is surfaced only on the other
-				// machines, where it is the headline difference.
-				cross := f.RingTreeCrossover(selNodes)
-				fmt.Fprintf(&b, "  ring/recursive-doubling crossover at %d nodes: %v\n", selNodes, cross)
-				ms = append(ms, Metric{Name: "ring/doubling crossover message size", Measured: float64(cross), Unit: "B"})
-			}
-			return Result{Metrics: ms, Detail: b.String()}
-		},
+		Run:        func() Result { return run(nil) },
+		RunObs:     run,
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"summitscale/internal/ga"
 	"summitscale/internal/mc"
+	"summitscale/internal/obs"
 	"summitscale/internal/stats"
 	"summitscale/internal/surrogate"
 	"summitscale/internal/workflow"
@@ -121,54 +122,57 @@ func materialsExperiment() Experiment {
 // campaign timeline: FFEA and AAMD stages at different facilities coupled
 // through CVAE/ANCA-AE/GNO training on Summit, iterated twice.
 func biologyExperiment() Experiment {
+	run := func(ob *obs.Observer) Result {
+		w := workflow.New()
+		w.MustAdd(&workflow.Task{Name: "cryoem-input", Facility: "thetagpu", Duration: 20})
+		prev := "cryoem-input"
+		iterations := 2
+		for i := 0; i < iterations; i++ {
+			ffea := fmt.Sprintf("ffea-%d", i)
+			aamd := fmt.Sprintf("aamd-%d", i)
+			anca := fmt.Sprintf("anca-ae-%d", i)
+			cvae := fmt.Sprintf("cvae-train-%d", i)
+			gno := fmt.Sprintf("gno-couple-%d", i)
+			w.MustAdd(&workflow.Task{Name: ffea, Facility: "thetagpu", Duration: 100, Deps: []string{prev}})
+			w.MustAdd(&workflow.Task{Name: aamd, Facility: "perlmutter", Duration: 150, Deps: []string{prev}})
+			w.MustAdd(&workflow.Task{Name: anca, Facility: "thetagpu", Duration: 30, Deps: []string{ffea}})
+			w.MustAdd(&workflow.Task{Name: cvae, Facility: "summit", Duration: 80, Deps: []string{aamd}})
+			w.MustAdd(&workflow.Task{Name: gno, Facility: "thetagpu", Duration: 40, Deps: []string{anca, cvae}})
+			prev = gno
+		}
+		tl, err := w.Simulate([]workflow.Facility{
+			{Name: "summit", Capacity: 4},
+			{Name: "perlmutter", Capacity: 2},
+			{Name: "thetagpu", Capacity: 2},
+		})
+		if err != nil {
+			return Result{Metrics: []Metric{{Name: "simulate failed", Paper: 0, Measured: 1, Tol: 1e-9}},
+				Detail: err.Error()}
+		}
+		w.TraceTimeline(tl, ob)
+		// Serial lower bound of the critical chain per iteration:
+		// max(ffea+anca, aamd+cvae) + gno = max(130, 230) + 40 = 270.
+		wantMakespan := 20.0 + float64(iterations)*270
+		var b strings.Builder
+		fmt.Fprintf(&b, "campaign makespan: %.0f s over %d coupled iterations\n", tl.Makespan, iterations)
+		for _, f := range []string{"summit", "perlmutter", "thetagpu"} {
+			fmt.Fprintf(&b, "  %-11s utilization %.1f%%\n", f, 100*tl.Utilization[f])
+		}
+		return Result{
+			Metrics: []Metric{
+				{Name: "campaign makespan", Paper: wantMakespan, Measured: tl.Makespan, Unit: "s", Tol: 0.01},
+				{Name: "FFEA/AAMD overlap achieved (1=yes)", Paper: 1,
+					Measured: boolMetric(tl.Start["aamd-0"] < tl.End["ffea-0"]), Tol: 1e-9},
+			},
+			Detail: b.String(),
+		}
+	}
 	return Experiment{
 		ID:         "W2",
 		Title:      "§V-B biology — multi-facility replication-transcription campaign",
 		PaperClaim: "AI components impose consistency between FFEA and AAMD across Summit, Perlmutter, ThetaGPU",
-		Run: func() Result {
-			w := workflow.New()
-			w.MustAdd(&workflow.Task{Name: "cryoem-input", Facility: "thetagpu", Duration: 20})
-			prev := "cryoem-input"
-			iterations := 2
-			for i := 0; i < iterations; i++ {
-				ffea := fmt.Sprintf("ffea-%d", i)
-				aamd := fmt.Sprintf("aamd-%d", i)
-				anca := fmt.Sprintf("anca-ae-%d", i)
-				cvae := fmt.Sprintf("cvae-train-%d", i)
-				gno := fmt.Sprintf("gno-couple-%d", i)
-				w.MustAdd(&workflow.Task{Name: ffea, Facility: "thetagpu", Duration: 100, Deps: []string{prev}})
-				w.MustAdd(&workflow.Task{Name: aamd, Facility: "perlmutter", Duration: 150, Deps: []string{prev}})
-				w.MustAdd(&workflow.Task{Name: anca, Facility: "thetagpu", Duration: 30, Deps: []string{ffea}})
-				w.MustAdd(&workflow.Task{Name: cvae, Facility: "summit", Duration: 80, Deps: []string{aamd}})
-				w.MustAdd(&workflow.Task{Name: gno, Facility: "thetagpu", Duration: 40, Deps: []string{anca, cvae}})
-				prev = gno
-			}
-			tl, err := w.Simulate([]workflow.Facility{
-				{Name: "summit", Capacity: 4},
-				{Name: "perlmutter", Capacity: 2},
-				{Name: "thetagpu", Capacity: 2},
-			})
-			if err != nil {
-				return Result{Metrics: []Metric{{Name: "simulate failed", Paper: 0, Measured: 1, Tol: 1e-9}},
-					Detail: err.Error()}
-			}
-			// Serial lower bound of the critical chain per iteration:
-			// max(ffea+anca, aamd+cvae) + gno = max(130, 230) + 40 = 270.
-			wantMakespan := 20.0 + float64(iterations)*270
-			var b strings.Builder
-			fmt.Fprintf(&b, "campaign makespan: %.0f s over %d coupled iterations\n", tl.Makespan, iterations)
-			for _, f := range []string{"summit", "perlmutter", "thetagpu"} {
-				fmt.Fprintf(&b, "  %-11s utilization %.1f%%\n", f, 100*tl.Utilization[f])
-			}
-			return Result{
-				Metrics: []Metric{
-					{Name: "campaign makespan", Paper: wantMakespan, Measured: tl.Makespan, Unit: "s", Tol: 0.01},
-					{Name: "FFEA/AAMD overlap achieved (1=yes)", Paper: 1,
-						Measured: boolMetric(tl.Start["aamd-0"] < tl.End["ffea-0"]), Tol: 1e-9},
-				},
-				Detail: b.String(),
-			}
-		},
+		Run:        func() Result { return run(nil) },
+		RunObs:     run,
 	}
 }
 

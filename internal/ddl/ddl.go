@@ -16,8 +16,10 @@ import (
 	"summitscale/internal/autograd"
 	"summitscale/internal/mp"
 	"summitscale/internal/nn"
+	"summitscale/internal/obs"
 	"summitscale/internal/optim"
 	"summitscale/internal/tensor"
+	"summitscale/internal/units"
 )
 
 // FlattenGrads copies all parameter gradients into one contiguous vector
@@ -112,6 +114,14 @@ type Config struct {
 	GradLag bool
 	// Allreduce selects the collective; nil means ring.
 	Allreduce func(c *mp.Comm, grads []float64) []float64
+	// Obs, if non-nil, receives step counters (ddl.steps,
+	// ddl.allreduce.bytes) and — when StepTime is positive — one span per
+	// executed step on the rank's track of the simulated step clock.
+	Obs *obs.Observer
+	// StepTime is the simulated duration of one training step, used only
+	// to place step spans on the simulated clock (step k of a rank runs in
+	// [k·StepTime, (k+1)·StepTime)). Zero disables step spans.
+	StepTime units.Seconds
 }
 
 // Rank is the per-goroutine training state.
@@ -174,6 +184,20 @@ func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
 		allreduce = func(c *mp.Comm, g []float64) []float64 { return c.AllReduceRing(g) }
 	}
 	reduced := allreduce(r.Comm, flat)
+	gradBytes := int64(len(flat) * 8)
+	r.Config.Obs.Inc("ddl.steps")
+	r.Config.Obs.Add("ddl.allreduce.bytes", gradBytes)
+	if r.Config.StepTime > 0 {
+		track := fmt.Sprintf("rank-%d", r.Comm.Rank())
+		at := units.Seconds(r.step) * r.Config.StepTime
+		r.Config.Obs.Span(track, "train", "step", at, r.Config.StepTime,
+			obs.Num("step", float64(r.step)))
+		// The substrate moves real bytes, not simulated time, so the
+		// allreduce is marked as a zero-cost phase at the step boundary
+		// carrying its byte volume.
+		r.Config.Obs.Span(track, "comm", "allreduce", at+r.Config.StepTime, 0,
+			obs.Num("bytes", float64(gradBytes)))
+	}
 
 	apply := reduced
 	if r.Config.GradLag {

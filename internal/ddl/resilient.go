@@ -9,7 +9,9 @@ import (
 	"summitscale/internal/checkpoint"
 	"summitscale/internal/mp"
 	"summitscale/internal/nn"
+	"summitscale/internal/obs"
 	"summitscale/internal/optim"
+	"summitscale/internal/units"
 )
 
 // Elastic checkpoint/restart training: the executable counterpart of the
@@ -38,6 +40,15 @@ type ElasticConfig struct {
 	Dir string
 	// Config is the per-rank ddl configuration (compression, allreduce).
 	Config Config
+	// Obs, if non-nil, receives the run's window spans, checkpoint-commit
+	// and rank-failure/elastic-shrink events, and restore/lost-step
+	// counters on the executed-step clock (track "elastic").
+	Obs *obs.Observer
+	// StepTime is the simulated duration of one training step, placing the
+	// elastic run's spans on a clock (executed step k runs in
+	// [k·StepTime, (k+1)·StepTime)). Zero disables spans but keeps
+	// counters.
+	StepTime units.Seconds
 }
 
 // ElasticResult accounts a resilient run.
@@ -117,8 +128,15 @@ func RunElastic(cfg ElasticConfig,
 			runTo = failAt
 		}
 
+		windowStart := units.Seconds(res.StepsExecuted) * cfg.StepTime
 		losses := make([]float64, runTo-done)
 		if runTo > done {
+			if cfg.StepTime > 0 {
+				cfg.Obs.Span("elastic", "train", "window", windowStart,
+					units.Seconds(runTo-done)*cfg.StepTime,
+					obs.Num("from_step", float64(done)), obs.Num("to_step", float64(runTo)),
+					obs.Num("world", float64(ranks)))
+			}
 			start := done
 			w := mp.NewWorld(ranks)
 			world := ranks
@@ -147,6 +165,7 @@ func RunElastic(cfg ElasticConfig,
 			res.StepsExecuted += runTo - done
 		}
 
+		windowEndAt := units.Seconds(res.StepsExecuted) * cfg.StepTime
 		if failAt >= 0 {
 			// Window aborted: uncommitted steps are lost, survivors
 			// restore from the last commit and the world shrinks.
@@ -157,11 +176,24 @@ func RunElastic(cfg ElasticConfig,
 				return nil, fmt.Errorf("ddl: failure at step %d leaves no survivors", failAt)
 			}
 			res.FinalRanks = ranks
+			cfg.Obs.Event("elastic", "fault", "rank-failure", windowEndAt,
+				obs.Num("step", float64(failAt)), obs.Num("lost_ranks", float64(lost)))
+			cfg.Obs.Event("elastic", "fault", "elastic-shrink", windowEndAt,
+				obs.Num("world", float64(ranks)))
+			if runTo > done && cfg.StepTime > 0 {
+				cfg.Obs.Span("elastic", "fault", "lost-work", windowStart,
+					windowEndAt-windowStart, obs.Num("steps", float64(runTo-done)))
+			}
+			cfg.Obs.Inc("ddl.elastic.restores")
+			cfg.Obs.Add("ddl.elastic.lost_steps", int64(runTo-done))
 			continue
 		}
 		res.Losses = append(res.Losses, losses...)
 		res.StepsCommitted = windowEnd
 		res.Checkpoints++
+		cfg.Obs.Event("elastic", "ckpt", "checkpoint-commit", windowEndAt,
+			obs.Num("steps_committed", float64(windowEnd)))
+		cfg.Obs.Inc("ddl.elastic.checkpoints")
 		done = windowEnd
 	}
 

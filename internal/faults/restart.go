@@ -9,6 +9,7 @@ import (
 	"math"
 	"strings"
 
+	"summitscale/internal/obs"
 	"summitscale/internal/units"
 )
 
@@ -54,7 +55,22 @@ func Simulate(shape RunShape, interval units.Seconds, trace *Trace) Outcome {
 	return simulate(shape, interval, trace.FailureTimes())
 }
 
+// SimulateObserved is Simulate replaying the run into an observer as well:
+// one span per committed work segment and checkpoint write, and — per
+// failure — an instant failure event plus lost-work and restart spans, all
+// on the job's simulated clock (track "job"). A nil observer records
+// nothing; the Outcome is identical either way.
+func SimulateObserved(shape RunShape, interval units.Seconds, trace *Trace,
+	ob *obs.Observer) Outcome {
+	return simulateObserved(shape, interval, trace.FailureTimes(), ob)
+}
+
 func simulate(shape RunShape, interval units.Seconds, failures []units.Seconds) Outcome {
+	return simulateObserved(shape, interval, failures, nil)
+}
+
+func simulateObserved(shape RunShape, interval units.Seconds,
+	failures []units.Seconds, ob *obs.Observer) Outcome {
 	if interval <= 0 {
 		panic("faults: checkpoint interval must be positive")
 	}
@@ -64,13 +80,24 @@ func simulate(shape RunShape, interval units.Seconds, failures []units.Seconds) 
 	var out Outcome
 	var wall, saved units.Seconds
 	fi := 0
+	fail := func(f, lost units.Seconds) {
+		out.Failures++
+		ob.Inc("faults.failures")
+		ob.Event("job", "fault", "failure", f)
+		if lost > 0 {
+			ob.Span("job", "fault", "lost-work", f-lost, lost)
+			ob.Observe("faults.lost_work_s", float64(lost))
+		}
+		ob.Span("job", "restart", "restart", f, shape.RestartCost)
+		ob.Inc("faults.restarts")
+	}
 	for saved < shape.TotalWork {
 		// Failure during a restart window restarts the restart.
 		if fi < len(failures) && failures[fi] < wall {
 			f := failures[fi]
 			fi++
-			out.Failures++
 			out.RestartTime -= wall - f // the tail of the aborted restart never ran
+			fail(f, 0)
 			wall = f + shape.RestartCost
 			out.RestartTime += shape.RestartCost
 			continue
@@ -86,11 +113,16 @@ func simulate(shape RunShape, interval units.Seconds, failures []units.Seconds) 
 		if fi < len(failures) && failures[fi] < wall+segment {
 			f := failures[fi]
 			fi++
-			out.Failures++
 			out.LostWork += f - wall
+			fail(f, f-wall)
 			wall = f + shape.RestartCost
 			out.RestartTime += shape.RestartCost
 			continue
+		}
+		ob.Span("job", "work", "segment", wall, chunk)
+		if segment > chunk {
+			ob.Span("job", "ckpt", "checkpoint-write", wall+chunk, shape.CheckpointCost)
+			ob.Inc("faults.checkpoints")
 		}
 		wall += segment
 		saved += chunk
@@ -100,6 +132,7 @@ func simulate(shape RunShape, interval units.Seconds, failures []units.Seconds) 
 		}
 	}
 	out.Wall = wall
+	ob.Set("faults.wall_s", float64(out.Wall))
 	return out
 }
 

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"summitscale/internal/obs"
+	"summitscale/internal/units"
+)
+
+// Observed collective costs: the same α–β estimates as netsim.go/faulty.go
+// with each phase reported to an obs.Observer — the per-phase time
+// accounting (compute vs. allreduce vs. rebuild vs. redo) the paper's
+// §VI-B communication analysis is built from. Every function takes the
+// simulated start time and returns the phase duration, so callers chain
+// them onto their own clock; a nil observer records nothing.
+
+// ObservedRingAllReduce is RingAllReduce emitting one span on track with
+// the α/β terms it was computed from, plus allreduce counters.
+func (f Fabric) ObservedRingAllReduce(ob *obs.Observer, track string, at units.Seconds,
+	p int, n units.Bytes) units.Seconds {
+	t := f.RingAllReduce(p, n)
+	ob.Span(track, "comm", "ring-allreduce", at, t,
+		obs.Num("p", float64(p)), obs.Num("bytes", float64(n)),
+		obs.Num("alpha_s", float64(f.Alpha)), obs.Num("beta_Bps", float64(f.Beta)))
+	ob.Inc("netsim.allreduce.count")
+	ob.Add("netsim.allreduce.bytes", int64(n))
+	ob.Observe("netsim.allreduce.seconds", float64(t))
+	return t
+}
+
+// ObservedAllReduceWithNodeLoss is AllReduceWithNodeLoss decomposed into
+// its three phases — the wasted partial collective, the detection +
+// ring-rebuild stall, and the redo at p-1 — each emitted as its own span,
+// with an instant node-loss event at the failure point.
+func (f Fabric) ObservedAllReduceWithNodeLoss(ob *obs.Observer, track string, at units.Seconds,
+	p int, n units.Bytes, atFrac float64, detectTimeout units.Seconds) units.Seconds {
+	total := f.AllReduceWithNodeLoss(p, n, atFrac, detectTimeout)
+	if p <= 1 {
+		return total
+	}
+	wasted := units.Seconds(atFrac * float64(f.RingAllReduce(p, n)))
+	rebuild := f.RingRebuildTime(p-1, detectTimeout)
+	redo := f.RingAllReduce(p-1, n)
+	ob.Span(track, "comm", "allreduce-wasted", at, wasted,
+		obs.Num("p", float64(p)), obs.Num("at_frac", atFrac))
+	ob.Event(track, "fault", "node-loss", at+wasted, obs.Num("p", float64(p)))
+	ob.Span(track, "comm", "ring-rebuild", at+wasted, rebuild,
+		obs.Num("detect_timeout_s", float64(detectTimeout)))
+	ob.Span(track, "comm", "allreduce-redo", at+wasted+rebuild, redo,
+		obs.Num("p", float64(p-1)), obs.Num("bytes", float64(n)))
+	ob.Inc("netsim.node_loss.count")
+	ob.Observe("netsim.node_loss.wasted_s", float64(wasted))
+	ob.Observe("netsim.node_loss.rebuild_s", float64(rebuild))
+	return total
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"testing"
+
+	"summitscale/internal/units"
+)
+
+// BenchmarkObsHotPath measures the per-record cost instrumented simulators
+// pay on their hot loops: one span, one counter bump, one series
+// observation. Tracked in BENCH_hotpath.json via `make bench-json`.
+func BenchmarkObsHotPath(b *testing.B) {
+	o := New()
+	for i := 0; i < b.N; i++ {
+		t := units.Seconds(i)
+		o.Span("rank-0", "train", "step", t, 1, Num("step", float64(i)))
+		o.Inc("ddl.steps")
+		o.Observe("ddl.step_s", 1)
+	}
+}
+
+// BenchmarkObsHotPathNil measures the disabled-observer cost — what
+// un-instrumented runs pay for carrying the optional observer.
+func BenchmarkObsHotPathNil(b *testing.B) {
+	var o *Observer
+	for i := 0; i < b.N; i++ {
+		t := units.Seconds(i)
+		o.Span("rank-0", "train", "step", t, 1, Num("step", float64(i)))
+		o.Inc("ddl.steps")
+		o.Observe("ddl.step_s", 1)
+	}
+}

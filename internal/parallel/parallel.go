@@ -34,11 +34,26 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
-// itemPanic carries a work item's panic back to the caller.
-type itemPanic struct {
-	index int
-	value any
+// ItemPanic carries a work item's panic to the caller: which item
+// panicked and the original panic value, preserved so typed sentinels and
+// runtime.Error values survive the pool boundary identically at any -j.
+type ItemPanic struct {
+	// Index is the work item that panicked (lowest index wins when
+	// several panic).
+	Index int
+	// Value is the original panic value, unflattened.
+	Value any
 }
+
+// Error renders the panic; ItemPanic also satisfies the error interface so
+// recover sites can errors.As through it.
+func (ip ItemPanic) Error() string {
+	return fmt.Sprintf("parallel: work item %d panicked: %v", ip.Index, ip.Value)
+}
+
+// String matches Error, so %v formatting of the re-raised panic keeps the
+// message format callers already match on.
+func (ip ItemPanic) String() string { return ip.Error() }
 
 // ForEach invokes fn(i) for every i in [0, n), using at most the pool's
 // width in concurrent goroutines. Items are claimed via an atomic cursor,
@@ -46,7 +61,9 @@ type itemPanic struct {
 // output identical to a sequential loop. With one worker (or n <= 1) fn
 // runs on the caller's goroutine with no spawning at all — the "-j 1" old
 // path. All items run to completion before ForEach returns, even when some
-// panic; then the panic with the lowest index is re-raised.
+// panic; then the panic with the lowest index is re-raised as an ItemPanic
+// wrapping the original value — identically on the single- and
+// multi-worker paths, so panic identity does not depend on -j.
 func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -55,46 +72,48 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
 	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		first  *itemPanic
+		mu    sync.Mutex
+		first *ItemPanic
 	)
 	run := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
-				if first == nil || i < first.index {
-					first = &itemPanic{index: i, value: r}
+				if first == nil || i < first.Index {
+					first = &ItemPanic{Index: i, Value: r}
 				}
 				mu.Unlock()
 			}
 		}()
 		fn(i)
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		var (
+			cursor atomic.Int64
+			wg     sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					run(i)
 				}
-				run(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	if first != nil {
-		panic(fmt.Sprintf("parallel: work item %d panicked: %v", first.index, first.value))
+		panic(*first)
 	}
 }
 

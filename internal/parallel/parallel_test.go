@@ -64,8 +64,15 @@ func TestForEachPanicPropagates(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic not propagated")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("panic lost its payload: %v", r)
+		ip, ok := r.(ItemPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want ItemPanic", r)
+		}
+		if ip.Index != 17 || ip.Value != "boom" {
+			t.Fatalf("panic lost its payload: %+v", ip)
+		}
+		if !strings.Contains(ip.Error(), "boom") {
+			t.Fatalf("message lost the payload: %v", ip)
 		}
 	}()
 	NewPool(4).ForEach(64, func(i int) {
@@ -85,7 +92,7 @@ func TestForEachPanicLowestIndexWins(t *testing.T) {
 				if r == nil {
 					t.Fatal("no panic")
 				}
-				if !strings.Contains(r.(string), "work item 3 panicked") {
+				if !strings.Contains(r.(ItemPanic).Error(), "work item 3 panicked") {
 					t.Fatalf("wrong panic won: %v", r)
 				}
 			}()
@@ -95,6 +102,64 @@ func TestForEachPanicLowestIndexWins(t *testing.T) {
 				}
 			})
 		}()
+	}
+}
+
+// errSentinel is a typed panic payload for the identity test.
+type errSentinel struct{ code int }
+
+func (e errSentinel) Error() string { return "sentinel" }
+
+// TestForEachPanicIdentityAcrossWorkerCounts is the regression test for
+// the -j-dependent panic flattening: the original panic value — including
+// typed sentinels — must survive the pool boundary identically on the
+// single- and multi-worker paths.
+func TestForEachPanicIdentityAcrossWorkerCounts(t *testing.T) {
+	want := errSentinel{code: 42}
+	for _, workers := range []int{1, 2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				ip, ok := r.(ItemPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value is %T, want ItemPanic", workers, r)
+				}
+				if got, ok := ip.Value.(errSentinel); !ok || got != want {
+					t.Fatalf("workers=%d: payload %#v lost identity", workers, ip.Value)
+				}
+				if ip.Index != 2 {
+					t.Fatalf("workers=%d: index %d, want 2", workers, ip.Index)
+				}
+			}()
+			NewPool(workers).ForEach(8, func(i int) {
+				if i == 2 {
+					panic(want)
+				}
+			})
+		}()
+	}
+}
+
+// TestSingleWorkerRunsAllDespitePanic: the one-worker path must match the
+// multi-worker contract — every item runs even after an earlier panic.
+func TestSingleWorkerRunsAllDespitePanic(t *testing.T) {
+	const n = 16
+	ran := 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed")
+			}
+		}()
+		NewPool(1).ForEach(n, func(i int) {
+			ran++
+			if i == 0 {
+				panic("early")
+			}
+		})
+	}()
+	if ran != n {
+		t.Fatalf("only %d/%d items ran after a panic on one worker", ran, n)
 	}
 }
 

@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"math/rand"
 	"testing"
 
+	"summitscale/internal/obs"
 	"summitscale/internal/units"
 )
 
@@ -53,6 +55,61 @@ func TestEarlyFailureHiddenUnderRemainingStage(t *testing.T) {
 	got := s.StagingTimeWithFailures(d, nodes, PartitionDataset, []units.Seconds{0})
 	if got != base {
 		t.Fatalf("hidden re-stage still delayed completion: %v vs %v", got, base)
+	}
+}
+
+// TestShuffledFailuresOrderIndependent is the regression test for the
+// order-dependence bug: completion grows monotonically while failures are
+// admitted, so processing an early failure late could re-admit it. The
+// result must match ascending order for any input permutation.
+func TestShuffledFailuresOrderIndependent(t *testing.T) {
+	s := NewStager()
+	d := units.Bytes(100 * units.TB)
+	const nodes = 1024
+	base := s.StagingTime(d, nodes, PartitionDataset)
+	// A mix of failures before, straddling, and after the stretched
+	// completion — the shape where order used to change the answer.
+	asc := []units.Seconds{base / 4, base / 2, base - 1, base + base/2, 2 * base}
+	want := s.StagingTimeWithFailures(d, nodes, PartitionDataset, asc)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]units.Seconds(nil), asc...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := s.StagingTimeWithFailures(d, nodes, PartitionDataset, shuffled); got != want {
+			t.Fatalf("order %v gave %v, ascending gave %v", shuffled, got, want)
+		}
+	}
+	// The input slice itself must not be reordered (sort works on a copy).
+	rev := []units.Seconds{base / 2, base / 4}
+	s.StagingTimeWithFailures(d, nodes, PartitionDataset, rev)
+	if rev[0] != base/2 || rev[1] != base/4 {
+		t.Fatalf("input slice was mutated: %v", rev)
+	}
+}
+
+// TestObservedStagingEmitsSpans: the observed variant reports the
+// stage-in span plus one re-stage span per admitted failure.
+func TestObservedStagingEmitsSpans(t *testing.T) {
+	s := NewStager()
+	d := units.Bytes(100 * units.TB)
+	const nodes = 1024
+	base := s.StagingTime(d, nodes, PartitionDataset)
+	ob := obs.New()
+	got := s.ObservedStagingTimeWithFailures(ob, d, nodes, PartitionDataset,
+		[]units.Seconds{base / 2, 10 * base})
+	if want := s.StagingTimeWithFailures(d, nodes, PartitionDataset,
+		[]units.Seconds{base / 2, 10 * base}); got != want {
+		t.Fatalf("observed result %v != unobserved %v", got, want)
+	}
+	if ob.Metrics.Counter("storage.restage.count") != 1 {
+		t.Fatalf("restage count = %d, want 1 (post-completion failure ignored)",
+			ob.Metrics.Counter("storage.restage.count"))
+	}
+	// stage-in span + failure event + re-stage span.
+	if ob.Trace.Len() != 3 {
+		t.Fatalf("trace records = %d, want 3", ob.Trace.Len())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"summitscale/internal/machine"
+	"summitscale/internal/obs"
 	"summitscale/internal/units"
 )
 
@@ -170,6 +171,25 @@ func (s *Stager) StagingTime(dataset units.Bytes, nodes int, plan StagingPlan) u
 	default:
 		panic("storage: unknown staging plan")
 	}
+}
+
+// ObservedStagingTime is StagingTime emitting a stage-in span (track
+// "storage", starting at job time zero) and byte/plan metrics into ob,
+// which may be nil.
+func (s *Stager) ObservedStagingTime(ob *obs.Observer, dataset units.Bytes,
+	nodes int, plan StagingPlan) units.Seconds {
+	t := s.StagingTime(dataset, nodes, plan)
+	planName := "replicate"
+	if plan == PartitionDataset {
+		planName = "partition"
+	}
+	ob.Span("storage", "io", "stage-in", 0, t,
+		obs.Num("bytes", float64(dataset)), obs.Num("nodes", float64(nodes)),
+		obs.Str("plan", planName), obs.Num("gpfs_bw", float64(s.GPFS.ReadBW(nodes))))
+	ob.Inc("storage.stage_in.count")
+	ob.Add("storage.stage_in.bytes", int64(dataset))
+	ob.Observe("storage.stage_in.seconds", float64(t))
+	return t
 }
 
 // EpochShuffleTime returns the cost of a global per-epoch reshuffle under

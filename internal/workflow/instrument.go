@@ -1,0 +1,86 @@
+package workflow
+
+import (
+	"sync"
+
+	"summitscale/internal/obs"
+	"summitscale/internal/units"
+)
+
+// Instrument wraps task bodies so every attempt emits one span on the
+// campaign's attempt-window clock — the same simulated clock TraceInjector
+// uses: attempt k of a task occupies [(k-1)·Window, k·Window). Compose it
+// inside the retry policy and outside the injector,
+//
+//	policy.Wrap(name, in.Wrap(name, injector.Wrap(name, body)))
+//
+// so each retried (or fault-injected) attempt gets its own span, tagged
+// with the attempt number and outcome.
+type Instrument struct {
+	Obs *obs.Observer
+	// Window is the simulated wall-clock span of one task attempt.
+	Window units.Seconds
+}
+
+// Wrap returns a body emitting one span per attempt: track = task name,
+// category "task", span name "attempt", args attempt number and status
+// ("ok" or "fault"); failed attempts additionally emit an instant "retry"
+// event at the attempt's end.
+func (in *Instrument) Wrap(name string, body func(ctx *Context) error) func(*Context) error {
+	if in == nil || in.Obs == nil {
+		return body
+	}
+	attempt := 0
+	var mu sync.Mutex
+	return func(ctx *Context) error {
+		mu.Lock()
+		k := attempt
+		attempt++
+		mu.Unlock()
+		from := units.Seconds(k) * in.Window
+		var err error
+		if body != nil {
+			err = body(ctx)
+		}
+		status := "ok"
+		if err != nil {
+			status = "fault"
+		}
+		in.Obs.Span(name, "task", "attempt", from, in.Window,
+			obs.Num("attempt", float64(k+1)), obs.Str("status", status))
+		if err != nil {
+			in.Obs.Event(name, "retry", "attempt-failed", from+in.Window,
+				obs.Num("attempt", float64(k+1)))
+		}
+		return err
+	}
+}
+
+// TraceTimeline replays a Simulate timeline into an observer: one span
+// per scheduled task (track = its facility), makespan and per-facility
+// utilization gauges. The timeline is already deterministic, so the trace
+// is too.
+func (w *Workflow) TraceTimeline(tl *Timeline, o *obs.Observer) {
+	if o == nil || tl == nil {
+		return
+	}
+	for _, name := range w.order {
+		t := w.tasks[name]
+		end, ok := tl.End[name]
+		if !ok {
+			continue
+		}
+		track := t.Facility
+		if track == "" {
+			track = "unassigned"
+		}
+		o.Span(track, "schedule", name,
+			units.Seconds(end-t.Duration), units.Seconds(t.Duration))
+		o.Observe("workflow.task_duration_s", t.Duration)
+	}
+	o.Set("workflow.makespan_s", tl.Makespan)
+	for fname, u := range tl.Utilization {
+		o.Set("workflow.util."+fname, u)
+	}
+	o.Add("workflow.tasks_scheduled", int64(len(tl.End)))
+}

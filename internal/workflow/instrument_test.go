@@ -1,0 +1,91 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"summitscale/internal/obs"
+)
+
+// TestInstrumentSpansPerAttempt: each attempt (including fault-injected
+// ones the policy retries) gets one span, failures add retry events, and
+// the policy's shared observer mirrors RetryStats.
+func TestInstrumentSpansPerAttempt(t *testing.T) {
+	ob := obs.New()
+	in := &Instrument{Obs: ob, Window: 60}
+	st := &RetryStats{}
+	p := RetryPolicy{MaxAttempts: 5, Backoff: 10, Stats: st, Obs: ob}
+
+	attempts := 0
+	flaky := func(*Context) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}
+	if err := p.Wrap("flaky", in.Wrap("flaky", flaky))(NewContext()); err != nil {
+		t.Fatal(err)
+	}
+	// 3 attempt spans + 2 attempt-failed events.
+	if got := ob.Trace.Len(); got != 5 {
+		t.Fatalf("trace records = %d, want 5", got)
+	}
+	sum := ob.Trace.Summary()
+	if !strings.Contains(sum, "attempt") || !strings.Contains(sum, "retry") {
+		t.Fatalf("summary missing attempt/retry rows:\n%s", sum)
+	}
+	s := st.Snapshot()
+	if got := ob.Metrics.Counter(MetricAttempts); int(got) != s.Attempts {
+		t.Fatalf("observer attempts %d != stats %d", got, s.Attempts)
+	}
+	if got := ob.Metrics.Sum(MetricBackoff); got != float64(s.BackoffTotal) {
+		t.Fatalf("observer backoff %v != stats %v", got, s.BackoffTotal)
+	}
+}
+
+// TestInstrumentNilPassthrough: a nil instrument (or nil observer) returns
+// the body unchanged — zero overhead when tracing is off.
+func TestInstrumentNilPassthrough(t *testing.T) {
+	body := func(*Context) error { return nil }
+	var in *Instrument
+	if got := in.Wrap("t", body); got == nil {
+		t.Fatal("nil instrument dropped the body")
+	}
+	in2 := &Instrument{}
+	if got := in2.Wrap("t", nil); got != nil {
+		t.Fatal("observer-less instrument should pass nil body through")
+	}
+}
+
+// TestTraceTimelineDeterministic: replaying a Simulate timeline yields a
+// schedule span per task and a byte-stable trace.
+func TestTraceTimelineDeterministic(t *testing.T) {
+	build := func() *Workflow {
+		w := New()
+		w.MustAdd(&Task{Name: "sim", Facility: "summit", Duration: 100})
+		w.MustAdd(&Task{Name: "train", Deps: []string{"sim"}, Facility: "summit", Duration: 50})
+		w.MustAdd(&Task{Name: "analyze", Deps: []string{"train"}, Facility: "thetagpu", Duration: 25})
+		return w
+	}
+	render := func() string {
+		w := build()
+		tl, err := w.Simulate([]Facility{{Name: "summit", Capacity: 2}, {Name: "thetagpu", Capacity: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob := obs.New()
+		w.TraceTimeline(tl, ob)
+		if ob.Metrics.Gauge("workflow.makespan_s") != tl.Makespan {
+			t.Fatalf("makespan gauge %v != %v", ob.Metrics.Gauge("workflow.makespan_s"), tl.Makespan)
+		}
+		if ob.Metrics.Counter("workflow.tasks_scheduled") != 3 {
+			t.Fatalf("tasks_scheduled = %d", ob.Metrics.Counter("workflow.tasks_scheduled"))
+		}
+		return string(ob.Trace.ChromeTrace()) + ob.Metrics.Render()
+	}
+	if render() != render() {
+		t.Fatal("TraceTimeline not deterministic across runs")
+	}
+}

@@ -1,0 +1,58 @@
+package workflow
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestWideDAGFaultInjectionUnderRace is the regression test for the
+// FaultInjector data race: a wide DAG (no dependencies, so Workflow.Run
+// executes every task body concurrently) shares one FaultInjector and one
+// RetryPolicy.Stats across all tasks. Before FaultInjector guarded its
+// RNG and Injected counter with a mutex, `go test -race` flagged the
+// unsynchronized stats.RNG mutation and Injected++ here.
+func TestWideDAGFaultInjectionUnderRace(t *testing.T) {
+	const tasks = 32
+	inj := NewFaultInjector(11, 0.3)
+	st := &RetryStats{}
+	p := RetryPolicy{MaxAttempts: 50, Backoff: 1, Stats: st}
+	w := New()
+	for i := 0; i < tasks; i++ {
+		name := fmt.Sprintf("task-%02d", i)
+		// Each task runs a burst of fault-injected sub-operations through
+		// the same injector — the steering-loop shape where one stage
+		// issues many faulty sub-calls — so every task goroutine draws
+		// from the shared RNG repeatedly and concurrently.
+		sub := inj.Wrap(name+"/sub", nil)
+		body := func(ctx *Context) error {
+			for j := 0; j < 200; j++ {
+				sub(ctx) // sub-operation faults are tolerated, only counted
+				if j%8 == 0 {
+					// Force mid-body interleaving even on GOMAXPROCS=1, so
+					// draws from different task goroutines are genuinely
+					// concurrent rather than serialized by scheduling.
+					runtime.Gosched()
+				}
+			}
+			return nil
+		}
+		w.MustAdd(&Task{Name: name, Run: p.Wrap(name, inj.Wrap(name, body))})
+	}
+	if err := w.Run(NewContext()); err != nil {
+		t.Fatalf("campaign failed despite retries: %v", err)
+	}
+	s := st.Snapshot()
+	if s.Succeeded != tasks {
+		t.Fatalf("succeeded %d of %d: %v", s.Succeeded, tasks, s)
+	}
+	// Every task-level fault was retried (nothing exhausted its attempts),
+	// and the sub-operation faults were injected on top of those, so the
+	// injector's count must cover the policy's retries.
+	if inj.Injected < s.Retries {
+		t.Fatalf("injected %d faults but policy recorded %d retries", inj.Injected, s.Retries)
+	}
+	if s.Attempts != tasks+s.Retries {
+		t.Fatalf("attempt accounting inconsistent: %v", s)
+	}
+}

@@ -5,8 +5,21 @@ import (
 	"sync"
 
 	"summitscale/internal/faults"
+	"summitscale/internal/obs"
 	"summitscale/internal/stats"
 	"summitscale/internal/units"
+)
+
+// Names of the obs counters and series backing RetryStats and the
+// injectors. Exposed so observers shared with a policy (RetryPolicy.Obs)
+// aggregate into the same metrics namespace.
+const (
+	MetricAttempts       = "workflow.retry.attempts"
+	MetricRetries        = "workflow.retry.retries"
+	MetricSucceeded      = "workflow.retry.succeeded"
+	MetricExhausted      = "workflow.retry.exhausted"
+	MetricBackoff        = "workflow.retry.backoff_s"
+	MetricFaultsInjected = "workflow.faults.injected"
 )
 
 // RetryStats accumulates what a retry policy actually did across every
@@ -14,13 +27,35 @@ import (
 // numbers the resilience study reports (previously they were swallowed
 // inside Wrap). Safe for concurrent use: Workflow.Run executes wrapped
 // tasks from many goroutines.
+//
+// The counters are backed by an obs.Registry (the zero value creates a
+// private one on first use); backoff accrues as an obs series so its
+// float64 total is summed in sorted order and cannot depend on goroutine
+// scheduling.
 type RetryStats struct {
-	mu           sync.Mutex
-	attempts     int
-	retries      int
-	succeeded    int
-	exhausted    int
-	backoffTotal units.Seconds
+	once sync.Once
+	reg  *obs.Registry
+}
+
+// registry returns the backing registry, creating it on first use so the
+// zero value keeps working.
+func (s *RetryStats) registry() *obs.Registry {
+	s.once.Do(func() {
+		if s.reg == nil {
+			s.reg = obs.NewRegistry()
+		}
+	})
+	return s.reg
+}
+
+func (s *RetryStats) recordAttempt()   { s.registry().Inc(MetricAttempts) }
+func (s *RetryStats) recordSuccess()   { s.registry().Inc(MetricSucceeded) }
+func (s *RetryStats) recordExhausted() { s.registry().Inc(MetricExhausted) }
+
+func (s *RetryStats) recordRetry(backoff units.Seconds) {
+	r := s.registry()
+	r.Inc(MetricRetries)
+	r.Observe(MetricBackoff, float64(backoff))
 }
 
 // RetrySnapshot is a consistent copy of the counters.
@@ -39,14 +74,13 @@ type RetrySnapshot struct {
 
 // Snapshot returns a consistent copy of the counters.
 func (s *RetryStats) Snapshot() RetrySnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	r := s.registry()
 	return RetrySnapshot{
-		Attempts:     s.attempts,
-		Retries:      s.retries,
-		Succeeded:    s.succeeded,
-		Exhausted:    s.exhausted,
-		BackoffTotal: s.backoffTotal,
+		Attempts:     int(r.Counter(MetricAttempts)),
+		Retries:      int(r.Counter(MetricRetries)),
+		Succeeded:    int(r.Counter(MetricSucceeded)),
+		Exhausted:    int(r.Counter(MetricExhausted)),
+		BackoffTotal: units.Seconds(r.Sum(MetricBackoff)),
 	}
 }
 
@@ -68,6 +102,10 @@ type RetryPolicy struct {
 	// Stats, if non-nil, accumulates attempt counts and backoff totals
 	// across every task wrapped with this policy.
 	Stats *RetryStats
+	// Obs, if non-nil, receives the same attempt/retry/backoff metrics
+	// under the workflow.retry.* names — so a campaign's policy shares one
+	// observer with the rest of the instrumented stack.
+	Obs *obs.Observer
 	// OnRetry, if non-nil, observes (task, attempt, err) before each retry.
 	OnRetry func(task string, attempt int, err error)
 }
@@ -82,17 +120,15 @@ func (p RetryPolicy) Wrap(name string, body func(ctx *Context) error) func(*Cont
 		backoff := p.Backoff
 		for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
 			if p.Stats != nil {
-				p.Stats.mu.Lock()
-				p.Stats.attempts++
-				p.Stats.mu.Unlock()
+				p.Stats.recordAttempt()
 			}
+			p.Obs.Inc(MetricAttempts)
 			last = body(ctx)
 			if last == nil {
 				if p.Stats != nil {
-					p.Stats.mu.Lock()
-					p.Stats.succeeded++
-					p.Stats.mu.Unlock()
+					p.Stats.recordSuccess()
 				}
+				p.Obs.Inc(MetricSucceeded)
 				return nil
 			}
 			if attempt < p.MaxAttempts {
@@ -100,19 +136,17 @@ func (p RetryPolicy) Wrap(name string, body func(ctx *Context) error) func(*Cont
 					p.OnRetry(name, attempt, last)
 				}
 				if p.Stats != nil {
-					p.Stats.mu.Lock()
-					p.Stats.retries++
-					p.Stats.backoffTotal += backoff
-					p.Stats.mu.Unlock()
+					p.Stats.recordRetry(backoff)
 				}
+				p.Obs.Inc(MetricRetries)
+				p.Obs.Observe(MetricBackoff, float64(backoff))
 				backoff *= 2
 			}
 		}
 		if p.Stats != nil {
-			p.Stats.mu.Lock()
-			p.Stats.exhausted++
-			p.Stats.mu.Unlock()
+			p.Stats.recordExhausted()
 		}
+		p.Obs.Inc(MetricExhausted)
 		return fmt.Errorf("workflow: task %q failed after %d attempts: %w",
 			name, p.MaxAttempts, last)
 	}
@@ -120,11 +154,20 @@ func (p RetryPolicy) Wrap(name string, body func(ctx *Context) error) func(*Cont
 
 // FaultInjector makes task bodies fail with a given probability — the
 // memoryless failure-injection harness used to test campaign resilience.
+//
+// Wrap-produced bodies are safe for concurrent use: the shared RNG draw
+// and the Injected counter are guarded by a mutex (Workflow.Run executes
+// task bodies from many goroutines, and stats.RNG is not thread-safe).
 type FaultInjector struct {
 	rng  *stats.RNG
 	Prob float64
-	// Injected counts the faults delivered.
+	// Injected counts the faults delivered. Read it only after the
+	// workflow has finished (Run's WaitGroup orders the read).
 	Injected int
+	// Obs, if non-nil, counts injections under workflow.faults.injected.
+	Obs *obs.Observer
+
+	mu sync.Mutex // guards rng and Injected
 }
 
 // NewFaultInjector creates an injector with failure probability p.
@@ -138,8 +181,14 @@ func NewFaultInjector(seed uint64, p float64) *FaultInjector {
 // Wrap returns a body that fails randomly before running the real body.
 func (f *FaultInjector) Wrap(name string, body func(ctx *Context) error) func(*Context) error {
 	return func(ctx *Context) error {
-		if f.rng.Bool(f.Prob) {
+		f.mu.Lock()
+		inject := f.rng.Bool(f.Prob)
+		if inject {
 			f.Injected++
+		}
+		f.mu.Unlock()
+		if inject {
+			f.Obs.Inc(MetricFaultsInjected)
 			return fmt.Errorf("workflow: injected fault in %q", name)
 		}
 		if body == nil {
@@ -161,6 +210,10 @@ type TraceInjector struct {
 	Window units.Seconds
 	// Injected counts the faults delivered.
 	Injected int
+	// Obs, if non-nil, counts injections under workflow.faults.injected
+	// and records one instant event per delivered fault on the attempt
+	// window clock.
+	Obs *obs.Observer
 
 	mu   sync.Mutex
 	next int // round-robin node assignment cursor
@@ -194,6 +247,9 @@ func (ti *TraceInjector) Wrap(name string, body func(ctx *Context) error) func(*
 			ti.mu.Lock()
 			ti.Injected++
 			ti.mu.Unlock()
+			ti.Obs.Inc(MetricFaultsInjected)
+			ti.Obs.Event(name, "fault", "node-failure", from,
+				obs.Num("node", float64(node)), obs.Num("attempt", float64(k+1)))
 			return fmt.Errorf("workflow: node %d failed during %q (attempt %d)", node, name, k+1)
 		}
 		if body == nil {

@@ -91,20 +91,16 @@ func TestRetryStatsExposed(t *testing.T) {
 }
 
 // TestRetryStatsConcurrentCampaign: stats stay consistent when the DAG
-// engine runs wrapped tasks from many goroutines.
+// engine runs wrapped tasks from many goroutines. The injector is shared
+// directly across tasks — FaultInjector now serializes its own RNG.
 func TestRetryStatsConcurrentCampaign(t *testing.T) {
 	st := &RetryStats{}
 	inj := NewFaultInjector(11, 0.3)
-	var injMu = make(chan struct{}, 1) // serialize the injector's RNG
 	p := RetryPolicy{MaxAttempts: 20, Backoff: 1, Stats: st}
 	w := New()
 	for i := 0; i < 16; i++ {
 		name := string(rune('a' + i))
-		w.MustAdd(&Task{Name: name, Run: p.Wrap(name, func(c *Context) error {
-			injMu <- struct{}{}
-			defer func() { <-injMu }()
-			return inj.Wrap(name, nil)(c)
-		})})
+		w.MustAdd(&Task{Name: name, Run: p.Wrap(name, inj.Wrap(name, nil))})
 	}
 	if err := w.Run(NewContext()); err != nil {
 		t.Fatal(err)
