@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 build vet fmt test race bench bench-json bench-check trace repro examples figures clean help
+.PHONY: all tier1 build vet fmt test race bench bench-json bench-check trace chaos fuzz-smoke repro examples figures clean help
 
 all: build vet test
 
@@ -13,8 +13,11 @@ help:
 	@echo "  tier1      build + vet + gofmt check + test + race (the CI gate)"
 	@echo "  bench      every benchmark with -benchmem"
 	@echo "  bench-json hot-path benchmarks (RunAll, MDForces, TrainStepAlloc,"
-	@echo "             ObsHotPath) -> BENCH_hotpath.json via cmd/summit-bench"
+	@echo "             ObsHotPath, ChaosHotPath) -> BENCH_hotpath.json"
 	@echo "  trace      RS2 campaign trace -> out.json (Chrome trace-event)"
+	@echo "  chaos      every builtin adversarial scenario + invariant suite"
+	@echo "  fuzz-smoke short fuzz pass over the scenario parser and the"
+	@echo "             fault-trace generator"
 	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
 	@echo "             vs the committed BENCH_hotpath.json"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
@@ -47,10 +50,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-path numbers as JSON: the sequential-vs-parallel experiment engine,
-# the sharded MD force kernel, the training-step allocation pair, and the
-# obs instrumentation overhead (span + counter + series per iteration).
+# the sharded MD force kernel, the training-step allocation pair, the obs
+# instrumentation overhead, and one full chaos scenario pass (compile the
+# perfect-storm spec + drive every subsystem probe).
 bench-json:
-	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath' -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath|ChaosHotPath' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
 
@@ -58,7 +62,7 @@ bench-json:
 # committed baseline; exits 1 beyond +-30% ns/op or allocs/op. Timings on
 # shared runners are noisy, so CI runs this job non-blocking.
 bench-check:
-	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath' -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath|ChaosHotPath' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench -check BENCH_hotpath.json
 
 # The §V resilience campaign's simulated-clock trace, viewable in
@@ -66,6 +70,18 @@ bench-check:
 trace:
 	$(GO) run ./cmd/summit-repro -experiment RS2 -trace out.json -metrics >/dev/null
 	@echo "wrote out.json"
+
+# Every builtin adversarial scenario through all simulators, with the
+# invariant suite (replay determinism, byte conservation, monotone
+# degradation, policies load-bearing) after each run.
+chaos:
+	$(GO) run ./cmd/summit-chaos -scenario all -check
+
+# Short native-fuzz pass over the inputs untrusted text reaches: the
+# chaos scenario DSL parser and the fault-trace generator.
+fuzz-smoke:
+	$(GO) test ./internal/chaos/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 10s
+	$(GO) test ./internal/faults/ -run '^$$' -fuzz FuzzTraceGenerate -fuzztime 10s
 
 # Full reproduction report: every table/figure/study, paper vs measured.
 repro:

@@ -29,7 +29,7 @@ import (
 func main() {
 	md := flag.Bool("md", false, "emit a markdown paper-vs-measured table instead of the full report")
 	jobs := flag.Int("j", runtime.NumCPU(), "experiment workers; 1 runs the plain sequential path (output is byte-identical either way)")
-	plat := flag.String("platform", "summit", "machine to reproduce on ("+strings.Join(platform.Names(), ", ")+"); non-baseline machines replay the sysreq, scaling, and resilience studies")
+	plat := flag.String("platform", "summit", "machine to reproduce on ("+strings.Join(platform.Names(), ", ")+"); non-baseline machines replay the sysreq, scaling, resilience, and chaos studies")
 	list := flag.Bool("platforms", false, "list registered platforms and exit")
 	expID := flag.String("experiment", "", "run a single experiment by ID (e.g. RS2) instead of the full registry")
 	traceOut := flag.String("trace", "", "write the run's simulated-clock spans as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
@@ -80,6 +80,7 @@ func main() {
 		// Off-baseline: replay the machine-aware studies on p.
 		exps := append(core.SysreqExperimentsOn(p), core.ScalingExperimentsOn(p)...)
 		exps = append(exps, core.ResilienceExperimentsOn(p)...)
+		exps = append(exps, core.ChaosExperimentsOn(p)...)
 		var b strings.Builder
 		pass = true
 		for _, e := range exps {

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// BenchmarkChaosHotPath measures one full scenario pass — compile the
+// perfect-storm spec and drive every subsystem probe — the unit of work
+// RS3 repeats per scenario and seed. Tracked in BENCH_hotpath.json via
+// `make bench-json`.
+func BenchmarkChaosHotPath(b *testing.B) {
+	sc, err := Builtin("perfect-storm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sc, uint64(i+1), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChaosCompile isolates the scenario-to-schedule lowering.
+func BenchmarkChaosCompile(b *testing.B) {
+	sc, err := Builtin("perfect-storm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Compile(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

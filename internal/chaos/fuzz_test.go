@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"testing"
+
+	"summitscale/internal/units"
+)
+
+// FuzzParseScenario drives the DSL parser with arbitrary text: it must
+// never panic, and whatever it does accept must validate, compile
+// deterministically, and produce a schedule holding the structural
+// invariants. Compilation is skipped for accepted-but-enormous inputs
+// (the fuzzer loves a cascade of a billion nodes); the point is parser
+// robustness, not scheduler throughput.
+func FuzzParseScenario(f *testing.F) {
+	for _, text := range builtins {
+		f.Add(text)
+	}
+	f.Add("name x\nnodes 4\nhorizon 1h")
+	f.Add("name x\nnodes 4\nhorizon 1h\ncascade at 1m count 2 spacing 1s spread 4")
+	f.Add("# only a comment")
+	f.Add("name \x00\nnodes -3\nhorizon 1e308y")
+	f.Add("flap from 1m to 2m period 0s duty 2 factor 9")
+	f.Fuzz(func(t *testing.T, text string) {
+		sc, err := Parse(text)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario Validate rejects: %v", err)
+		}
+		if tooBigToCompile(sc) {
+			return
+		}
+		a, err := sc.Compile(7)
+		if err != nil {
+			t.Fatalf("valid scenario failed to compile: %v", err)
+		}
+		b, err := sc.Compile(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameSchedule(a, b); err != nil {
+			t.Fatalf("compile replay diverged: %v", err)
+		}
+		prev := units.Seconds(0)
+		for i, e := range a.Trace.Events {
+			if e.Time < prev || e.Time < 0 || e.Time >= sc.Horizon {
+				t.Fatalf("event %d at %v breaks ordering/horizon (prev %v, horizon %v)",
+					i, e.Time, prev, sc.Horizon)
+			}
+			prev = e.Time
+			if e.Node < 0 || e.Node >= sc.Nodes || e.Duration < 0 {
+				t.Fatalf("event %d malformed: %+v", i, e)
+			}
+		}
+	})
+}
+
+// tooBigToCompile estimates the compiled event count and skips inputs
+// that would schedule millions of events.
+func tooBigToCompile(sc *Scenario) bool {
+	const limit = 200_000
+	events := 0.0
+	if b := sc.Background; b != nil {
+		events += float64(sc.Horizon) / (float64(b.NodeMTBF) / float64(sc.Nodes))
+	}
+	for _, c := range sc.Cascades {
+		events += float64(c.Count)
+	}
+	for _, f := range sc.Flaps {
+		events += float64(f.To-f.From) / float64(f.Period)
+	}
+	for _, s := range sc.Storms {
+		events += float64(s.Count)
+	}
+	return sc.Nodes > 1_000_000 || events > limit
+}

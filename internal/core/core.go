@@ -102,6 +102,7 @@ func buildExperiments() []Experiment {
 	out = append(out, trustExperiment())
 	out = append(out, workflowExperiments()...)
 	out = append(out, resilienceExperiments()...)
+	out = append(out, chaosExperiments()...)
 	return out
 }
 

@@ -69,6 +69,22 @@ func TestResilienceGoldenSummit(t *testing.T) {
 	}
 }
 
+// TestChaosGoldenSummit pins the adversarial-scenario study: RS3 and RS4
+// are fully seeded, so their reports must be byte-identical across reruns
+// and match the captured Summit goldens.
+func TestChaosGoldenSummit(t *testing.T) {
+	for _, e := range ChaosExperimentsOn(platform.Summit()) {
+		first := RenderResult(e, e.Run())
+		if again := RenderResult(e, e.Run()); again != first {
+			t.Errorf("%s report not reproducible across reruns at fixed seed", e.ID)
+		}
+		want := readGolden(t, "chaos-"+e.ID+".golden")
+		if first != want {
+			t.Errorf("%s report diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", e.ID, first, want)
+		}
+	}
+}
+
 // TestReportsFiniteOnAllPlatforms runs every sysreq and scaling
 // experiment on every registered machine and rejects NaN/Inf metrics or
 // empty reports.
@@ -80,8 +96,9 @@ func TestReportsFiniteOnAllPlatforms(t *testing.T) {
 		}
 		exps := append(SysreqExperimentsOn(p), ScalingExperimentsOn(p)...)
 		exps = append(exps, ResilienceExperimentsOn(p)...)
-		if len(exps) != 10 {
-			t.Fatalf("%s: want 10 experiments, got %d", name, len(exps))
+		exps = append(exps, ChaosExperimentsOn(p)...)
+		if len(exps) != 12 {
+			t.Fatalf("%s: want 12 experiments, got %d", name, len(exps))
 		}
 		for _, e := range exps {
 			res := e.Run()

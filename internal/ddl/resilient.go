@@ -36,6 +36,12 @@ type ElasticConfig struct {
 	// at that step. Steps since the last checkpoint are lost and re-run.
 	// Each entry fires once.
 	FailAtStep map[int]int
+	// RepairAtStep maps a global step index to the number of repaired
+	// ranks that become available again at that step. Repaired ranks
+	// rejoin at the next checkpoint boundary — never mid-window, so the
+	// restored world always resumes from a committed state and the run
+	// reproduces the serial reference trajectory. Each entry fires once.
+	RepairAtStep map[int]int
 	// Dir is the directory holding the run's checkpoint file.
 	Dir string
 	// Config is the per-rank ddl configuration (compression, allreduce).
@@ -58,7 +64,14 @@ type ElasticResult struct {
 	LostSteps      int // steps discarded by failures (lost work)
 	Restores       int // checkpoint restores performed
 	Checkpoints    int // committed checkpoints (including the initial one)
-	FinalRanks     int // world size after all failures
+	FinalRanks     int // world size after all failures and regrows
+	Regrows        int // grow-back events (repaired ranks rejoining)
+	// WorldSizes records the live world size of every executed step, in
+	// execution order (including steps later discarded) — the input to
+	// elastic-throughput accounting: a shrunken world runs the same global
+	// batch over fewer ranks, so each of its steps takes proportionally
+	// longer.
+	WorldSizes []int
 	// Losses holds the committed per-step mean loss of rank 0.
 	Losses []float64
 	// FinalParams is the flattened committed model state.
@@ -110,9 +123,38 @@ func RunElastic(cfg ElasticConfig,
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].step < pending[j].step })
 
+	// Pending repairs in step order; each rejoins at the next checkpoint
+	// boundary at or after its step.
+	var repairs []failure
+	for s, k := range cfg.RepairAtStep {
+		if s < 0 || s >= cfg.Steps {
+			return nil, fmt.Errorf("ddl: repair step %d outside run of %d steps", s, cfg.Steps)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("ddl: repair at step %d restores %d ranks", s, k)
+		}
+		repairs = append(repairs, failure{s, k})
+	}
+	sort.Slice(repairs, func(i, j int) bool { return repairs[i].step < repairs[j].step })
+
 	ranks := cfg.Ranks
 	done := 0 // committed steps
 	for done < cfg.Steps {
+		// Grow-back: repaired ranks whose repair step has been reached
+		// rejoin here, at the committed-state boundary, before the next
+		// window is planned. They load the same checkpoint every surviving
+		// rank resumes from, so growth never perturbs the trajectory.
+		for len(repairs) > 0 && repairs[0].step <= done {
+			ranks += repairs[0].ranks
+			res.Regrows++
+			res.FinalRanks = ranks
+			cfg.Obs.Event("elastic", "repair", "elastic-grow",
+				units.Seconds(res.StepsExecuted)*cfg.StepTime,
+				obs.Num("step", float64(done)), obs.Num("restored_ranks", float64(repairs[0].ranks)),
+				obs.Num("world", float64(ranks)))
+			cfg.Obs.Inc("ddl.elastic.regrows")
+			repairs = repairs[1:]
+		}
 		windowEnd := done + cfg.CheckpointEvery
 		if windowEnd > cfg.Steps {
 			windowEnd = cfg.Steps
@@ -163,6 +205,9 @@ func RunElastic(cfg ElasticConfig,
 				}
 			})
 			res.StepsExecuted += runTo - done
+			for s := done; s < runTo; s++ {
+				res.WorldSizes = append(res.WorldSizes, world)
+			}
 		}
 
 		windowEndAt := units.Seconds(res.StepsExecuted) * cfg.StepTime
@@ -203,4 +248,21 @@ func RunElastic(cfg ElasticConfig,
 	}
 	res.FinalParams = FlattenParams(final.Params())
 	return res, nil
+}
+
+// SimulatedWall accounts the run's simulated wall time given the global
+// batch size and the compute time of one sample on one rank: an executed
+// step on a world of w ranks processes batch/w samples per rank, so a
+// shrunken world pays proportionally more per step — the quantity the
+// grow-back policy exists to win back. Discarded (lost) steps still cost
+// their wall time.
+func (r *ElasticResult) SimulatedWall(batch int, perSample units.Seconds) units.Seconds {
+	if batch < 1 || perSample < 0 {
+		panic(fmt.Sprintf("ddl: simulated wall needs a positive batch and non-negative per-sample time (batch %d, perSample %v)", batch, perSample))
+	}
+	var wall units.Seconds
+	for _, w := range r.WorldSizes {
+		wall += perSample * units.Seconds(float64(batch)/float64(w))
+	}
+	return wall
 }

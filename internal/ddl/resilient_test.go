@@ -61,6 +61,84 @@ func TestElasticMatchesUninterrupted(t *testing.T) {
 	}
 }
 
+// TestElasticGrowBackMatchesSerial: shrink then grow back. A failure drops
+// the world from 4 to 2; the repaired ranks rejoin at the next checkpoint
+// boundary, and the finished run — having trained at 4, then 2, then 4
+// ranks — still commits the serial reference parameters, because growth
+// only ever happens from a committed state.
+func TestElasticGrowBackMatchesSerial(t *testing.T) {
+	const steps, lr = 6, 0.2
+	want := trainSerial(steps, lr)
+	res, err := RunElastic(ElasticConfig{
+		Ranks:           4,
+		Steps:           steps,
+		CheckpointEvery: 2,
+		FailAtStep:      map[int]int{3: 2},
+		RepairAtStep:    map[int]int{3: 2},
+		Dir:             t.TempDir(),
+	}, func() nn.Module { return buildModel() },
+		func() optim.Optimizer { return optim.NewSGD(lr) },
+		elasticLoss())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalRanks != 4 || res.Regrows != 1 {
+		t.Fatalf("final ranks %d with %d regrows, want 4 and 1", res.FinalRanks, res.Regrows)
+	}
+	// Steps 0-2 run at world 4 (step 2 discarded), the re-run window 2-3 at
+	// the shrunken world 2, and the post-repair window 4-5 at 4 again.
+	wantWorlds := []int{4, 4, 4, 2, 2, 4, 4}
+	if len(res.WorldSizes) != len(wantWorlds) {
+		t.Fatalf("executed worlds %v, want %v", res.WorldSizes, wantWorlds)
+	}
+	for i, w := range wantWorlds {
+		if res.WorldSizes[i] != w {
+			t.Fatalf("executed worlds %v, want %v", res.WorldSizes, wantWorlds)
+		}
+	}
+	for i := range want {
+		if math.Abs(res.FinalParams[i]-want[i]) > 1e-9 {
+			t.Fatalf("param %d: grow-back run %v vs serial %v",
+				i, res.FinalParams[i], want[i])
+		}
+	}
+}
+
+// TestGrowBackBeatsShrinkOnly: the policy is load-bearing — on the same
+// failure, the run that regains its repaired ranks finishes the remaining
+// steps faster than the one that limps on at half width.
+func TestGrowBackBeatsShrinkOnly(t *testing.T) {
+	run := func(repair map[int]int) *ElasticResult {
+		res, err := RunElastic(ElasticConfig{
+			Ranks:           4,
+			Steps:           6,
+			CheckpointEvery: 2,
+			FailAtStep:      map[int]int{3: 2},
+			RepairAtStep:    repair,
+			Dir:             t.TempDir(),
+		}, func() nn.Module { return buildModel() },
+			func() optim.Optimizer { return optim.NewSGD(0.2) },
+			elasticLoss())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	growBack := run(map[int]int{3: 2})
+	shrinkOnly := run(nil)
+	gw := growBack.SimulatedWall(8, 1)
+	sw := shrinkOnly.SimulatedWall(8, 1)
+	if gw >= sw {
+		t.Fatalf("grow-back wall %v not below shrink-only %v", gw, sw)
+	}
+	for i := range growBack.FinalParams {
+		if math.Abs(growBack.FinalParams[i]-shrinkOnly.FinalParams[i]) > 1e-9 {
+			t.Fatalf("param %d: grow-back %v differs from shrink-only %v — policies must only change speed",
+				i, growBack.FinalParams[i], shrinkOnly.FinalParams[i])
+		}
+	}
+}
+
 // TestElasticFailureFree: no failures degrades to plain checkpointed
 // data-parallel training.
 func TestElasticFailureFree(t *testing.T) {
@@ -145,6 +223,8 @@ func TestElasticValidatesConfig(t *testing.T) {
 		{Ranks: 1, Steps: 1, CheckpointEvery: 0, Dir: "x"},
 		{Ranks: 1, Steps: 1, CheckpointEvery: 1},
 		{Ranks: 1, Steps: 1, CheckpointEvery: 1, Dir: "x", FailAtStep: map[int]int{5: 1}},
+		{Ranks: 1, Steps: 1, CheckpointEvery: 1, Dir: "x", RepairAtStep: map[int]int{5: 1}},
+		{Ranks: 1, Steps: 1, CheckpointEvery: 1, Dir: "x", RepairAtStep: map[int]int{0: 0}},
 	} {
 		if _, err := RunElastic(cfg, mk, op, elasticLoss()); err == nil {
 			t.Fatalf("config %+v accepted", cfg)

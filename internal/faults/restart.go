@@ -26,6 +26,22 @@ type RunShape struct {
 	RestartCost units.Seconds
 }
 
+// Validate rejects run shapes that would make the simulator (or the Daly
+// closed forms) emit NaN/Inf instead of failing loudly: non-positive total
+// work, or negative checkpoint/restart costs.
+func (s RunShape) Validate() error {
+	if !(s.TotalWork > 0) {
+		return fmt.Errorf("faults: run shape needs positive total work, got %v", float64(s.TotalWork))
+	}
+	if !(s.CheckpointCost >= 0) {
+		return fmt.Errorf("faults: checkpoint cost must be non-negative, got %v", float64(s.CheckpointCost))
+	}
+	if !(s.RestartCost >= 0) {
+		return fmt.Errorf("faults: restart cost must be non-negative, got %v", float64(s.RestartCost))
+	}
+	return nil
+}
+
 // Outcome is the bookkeeping of one simulated checkpointed run.
 type Outcome struct {
 	Wall        units.Seconds // total wall time to finish TotalWork
@@ -74,6 +90,18 @@ func simulateObserved(shape RunShape, interval units.Seconds,
 	if interval <= 0 {
 		panic("faults: checkpoint interval must be positive")
 	}
+	return simulateDynamic(shape,
+		func(units.Seconds, int) units.Seconds { return interval }, failures, ob)
+}
+
+// simulateDynamic is the shared replay loop behind the static and
+// adaptive checkpoint policies: intervalAt is consulted at the start of
+// every work segment with the current wall clock and the failures endured
+// so far, so an online controller can re-solve its cadence as evidence
+// accumulates. A constant intervalAt reproduces the static simulator
+// byte for byte.
+func simulateDynamic(shape RunShape, intervalAt func(wall units.Seconds, failures int) units.Seconds,
+	failures []units.Seconds, ob *obs.Observer) Outcome {
 	if shape.TotalWork <= 0 {
 		panic("faults: run shape needs positive total work")
 	}
@@ -102,7 +130,10 @@ func simulateObserved(shape RunShape, interval units.Seconds,
 			out.RestartTime += shape.RestartCost
 			continue
 		}
-		chunk := interval
+		chunk := intervalAt(wall, out.Failures)
+		if chunk <= 0 {
+			panic("faults: checkpoint interval must be positive")
+		}
 		if rem := shape.TotalWork - saved; rem < chunk {
 			chunk = rem
 		}
@@ -137,18 +168,41 @@ func simulateObserved(shape RunShape, interval units.Seconds,
 }
 
 // DalyInterval returns the Young/Daly first-order optimal checkpoint
-// interval sqrt(2·δ·MTBF) for checkpoint cost δ and system MTBF.
+// interval sqrt(2·δ·MTBF) for checkpoint cost δ and system MTBF. It
+// panics with an explicit message on non-positive inputs (the silent
+// alternative is a NaN interval that poisons every downstream sweep), and
+// clamps the result to the MTBF itself when the checkpoint cost reaches
+// MTBF/2 — past that point the first-order expansion is invalid and the
+// un-clamped root would schedule commits rarer than the failures they
+// guard against.
 func DalyInterval(ckptCost, systemMTBF units.Seconds) units.Seconds {
-	if ckptCost <= 0 || systemMTBF <= 0 {
-		panic("faults: Daly interval needs positive checkpoint cost and MTBF")
+	if ckptCost <= 0 {
+		panic(fmt.Sprintf("faults: Daly interval needs a positive checkpoint cost, got %v", float64(ckptCost)))
 	}
-	return units.Seconds(math.Sqrt(2 * float64(ckptCost) * float64(systemMTBF)))
+	if systemMTBF <= 0 {
+		panic(fmt.Sprintf("faults: Daly interval needs a positive system MTBF, got %v", float64(systemMTBF)))
+	}
+	iv := units.Seconds(math.Sqrt(2 * float64(ckptCost) * float64(systemMTBF)))
+	if iv > systemMTBF {
+		return systemMTBF
+	}
+	return iv
 }
 
 // DalyOverhead returns the first-order expected overhead fraction of
 // checkpointing every τ: δ/τ for the writes plus τ/(2·MTBF) of expected
-// lost work per failure interval.
+// lost work per failure interval. Non-positive inputs panic explicitly
+// instead of propagating Inf/NaN into reports.
 func DalyOverhead(interval, ckptCost, systemMTBF units.Seconds) float64 {
+	if interval <= 0 {
+		panic(fmt.Sprintf("faults: Daly overhead needs a positive interval, got %v", float64(interval)))
+	}
+	if ckptCost <= 0 {
+		panic(fmt.Sprintf("faults: Daly overhead needs a positive checkpoint cost, got %v", float64(ckptCost)))
+	}
+	if systemMTBF <= 0 {
+		panic(fmt.Sprintf("faults: Daly overhead needs a positive system MTBF, got %v", float64(systemMTBF)))
+	}
 	return float64(ckptCost)/float64(interval) + float64(interval)/(2*float64(systemMTBF))
 }
 

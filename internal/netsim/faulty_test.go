@@ -51,6 +51,67 @@ func TestNodeLossLateFailureWastesMore(t *testing.T) {
 	}
 }
 
+func TestRingAllReduceUnderCleanMatchesAnalytic(t *testing.T) {
+	f := SummitFabric()
+	n := units.Bytes(100 * units.MB)
+	elapsed, bytes := f.RingAllReduceUnder(64, n, 0, nil)
+	if want := f.RingAllReduce(64, n); !approx(float64(elapsed), float64(want), 1e-9) {
+		t.Fatalf("clean integrated time %v vs analytic %v", elapsed, want)
+	}
+	if want := RingAllReduceBytes(64, n); !approx(float64(bytes), float64(want), 1e-9) {
+		t.Fatalf("clean integrated bytes %v vs analytic %v", bytes, want)
+	}
+}
+
+func TestRingAllReduceUnderConservesBytes(t *testing.T) {
+	f := SummitFabric()
+	n := units.Bytes(100 * units.MB)
+	flappy := func(at units.Seconds) float64 {
+		if int(at*1e3)%2 == 0 {
+			return 0.25
+		}
+		return 1
+	}
+	elapsed, bytes := f.RingAllReduceUnder(64, n, 0, flappy)
+	if clean := f.RingAllReduce(64, n); elapsed <= clean {
+		t.Fatalf("flapping link did not stretch the collective: %v <= %v", elapsed, clean)
+	}
+	if want := RingAllReduceBytes(64, n); !approx(float64(bytes), float64(want), 1e-9) {
+		t.Fatalf("flapping link changed byte volume: %v vs %v", bytes, want)
+	}
+}
+
+func TestRingAllReduceUnderMonotoneInFactor(t *testing.T) {
+	f := SummitFabric()
+	n := units.Bytes(64 * units.MB)
+	prev := units.Seconds(0)
+	for _, factor := range []float64{1, 0.75, 0.5, 0.25, 0.1} {
+		ft := factor
+		elapsed, _ := f.RingAllReduceUnder(32, n, 0, func(units.Seconds) float64 { return ft })
+		if elapsed < prev {
+			t.Fatalf("worse link factor %v yielded faster collective: %v < %v", factor, elapsed, prev)
+		}
+		prev = elapsed
+	}
+}
+
+func TestRingAllReduceUnderRejectsBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 0 accepted")
+		}
+	}()
+	SummitFabric().RingAllReduceUnder(8, units.MB, 0, func(units.Seconds) float64 { return 0 })
+}
+
+func approx(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*(1+b)
+}
+
 func TestRingRebuildGrowsWithMembership(t *testing.T) {
 	f := SummitFabric()
 	small := f.RingRebuildTime(8, 0.5)

@@ -53,6 +53,20 @@ func NewGPFS() *GPFS {
 // Name implements Store.
 func (g *GPFS) Name() string { return g.FS.Name }
 
+// Degraded returns a copy of the file system with its aggregate read and
+// write bandwidth multiplied by factor in (0, 1] — a GPFS brownout window
+// (contended metadata servers, rebuilding RAID sets). The per-node cap is
+// unchanged: the client network is not what browns out.
+func (g *GPFS) Degraded(factor float64) *GPFS {
+	if !(factor > 0 && factor <= 1) {
+		panic(fmt.Sprintf("storage: brownout factor must be in (0,1], got %v", factor))
+	}
+	fs := g.FS
+	fs.ReadBW = units.BytesPerSecond(float64(fs.ReadBW) * factor)
+	fs.WriteBW = units.BytesPerSecond(float64(fs.WriteBW) * factor)
+	return &GPFS{FS: fs, PerNodeCap: g.PerNodeCap}
+}
+
 // ReadBW implements Store: the job gets at most the aggregate bandwidth,
 // and at most nodes × per-node cap.
 func (g *GPFS) ReadBW(nodes int) units.BytesPerSecond {
@@ -132,6 +146,14 @@ func StagerFor(m machine.Machine) *Stager {
 // NewStager builds the Summit stager.
 func NewStager() *Stager {
 	return StagerFor(machine.Summit())
+}
+
+// Degraded returns a copy of the stager whose shared file system runs at
+// the given brownout factor; the node-local drives and the shuffle fabric
+// are unaffected. Staging and re-staging times computed through the copy
+// reflect the browned-out GPFS.
+func (s *Stager) Degraded(factor float64) *Stager {
+	return &Stager{NVMe: s.NVMe, GPFS: s.GPFS.Degraded(factor), ShuffleBW: s.ShuffleBW}
 }
 
 // PlanFor returns the staging plan that fits: replication when the

@@ -137,3 +137,47 @@ func TestShuffleTimeDecreasesWithNodes(t *testing.T) {
 		t.Fatalf("shuffle time should shrink with nodes: %v vs %v", t512, t64)
 	}
 }
+
+// TestDegradedGPFSSlowsStaging pins the brownout model: a browned-out
+// shared file system stretches GPFS-bound staging by ~1/factor and never
+// speeds anything up; factor 1 is a no-op.
+func TestDegradedGPFSSlowsStaging(t *testing.T) {
+	s := NewStager()
+	const dataset, nodes = 200 * units.TB, 2048
+	clean := s.StagingTime(dataset, nodes, PartitionDataset)
+	brown := s.Degraded(0.25).StagingTime(dataset, nodes, PartitionDataset)
+	if brown <= clean {
+		t.Fatalf("brownout staging %v not slower than clean %v", brown, clean)
+	}
+	if ratio := float64(brown) / float64(clean); ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("quarter-bandwidth brownout stretched staging %.2fx, want ~4x", ratio)
+	}
+	if same := s.Degraded(1).StagingTime(dataset, nodes, PartitionDataset); same != clean {
+		t.Fatalf("factor-1 brownout changed staging: %v vs %v", same, clean)
+	}
+}
+
+func TestDegradedGPFSMonotone(t *testing.T) {
+	s := NewStager()
+	prev := units.Seconds(0)
+	for _, f := range []float64{1, 0.8, 0.5, 0.2, 0.05} {
+		tm := s.Degraded(f).StagingTime(100*units.TB, 1024, PartitionDataset)
+		if tm < prev {
+			t.Fatalf("worse brownout factor %v staged faster: %v < %v", f, tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestDegradedRejectsBadFactor(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("brownout factor %v accepted", f)
+				}
+			}()
+			NewGPFS().Degraded(f)
+		}()
+	}
+}
