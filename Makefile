@@ -12,8 +12,9 @@ help:
 	@echo "  all        build + vet + test"
 	@echo "  tier1      build + vet + gofmt check + test + race (the CI gate)"
 	@echo "  bench      every benchmark with -benchmem"
-	@echo "  bench-json hot-path benchmarks (RunAll, MDForces, TrainStepAlloc,"
-	@echo "             ObsHotPath, ChaosHotPath) -> BENCH_hotpath.json"
+	@echo "  bench-json hot-path benchmarks (RunAll, DAGSchedule, MDForces,"
+	@echo "             TrainStepAlloc, Gemm, ObsHotPath, ChaosHotPath)"
+	@echo "             -> BENCH_hotpath.json"
 	@echo "  trace      RS2 campaign trace -> out.json (Chrome trace-event)"
 	@echo "  chaos      every builtin adversarial scenario + invariant suite"
 	@echo "  fuzz-smoke short fuzz pass over the scenario parser and the"
@@ -49,20 +50,24 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path numbers as JSON: the sequential-vs-parallel experiment engine,
-# the sharded MD force kernel, the training-step allocation pair, the obs
+# Hot-path numbers as JSON: the flat-vs-DAG experiment engine (plus the
+# DAGSchedule cold/warm ablation), the sharded MD force kernel, the
+# training-step allocation pair, the GEMM kernel ablation, the obs
 # instrumentation overhead, and one full chaos scenario pass (compile the
 # perfect-storm spec + drive every subsystem probe).
+BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath
 bench-json:
-	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath|ChaosHotPath' -benchmem ./... \
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
 
 # Regression gate: rerun the hot-path benchmarks and diff against the
-# committed baseline; exits 1 beyond +-30% ns/op or allocs/op. Timings on
-# shared runners are noisy, so CI runs this job non-blocking.
+# committed baseline; exits 1 beyond +-30% ns/op or allocs/op, or when the
+# DAG engine (RunAllParallel) loses its >=1.5x margin over the sequential
+# flat path. Timings on shared runners are noisy, so CI runs this job
+# non-blocking.
 bench-check:
-	$(GO) test -run '^$$' -bench 'RunAll|MDForces|TrainStepAlloc|ObsHotPath|ChaosHotPath' -benchmem ./... \
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench -check BENCH_hotpath.json
 
 # The §V resilience campaign's simulated-clock trace, viewable in

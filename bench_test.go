@@ -86,15 +86,16 @@ func BenchmarkWorkflowMaterials(b *testing.B) { benchExperiment(b, "W1") }
 func BenchmarkWorkflowBiology(b *testing.B)   { benchExperiment(b, "W2") }
 func BenchmarkWorkflowDrug(b *testing.B)      { benchExperiment(b, "W3") }
 
-// Hot-path pair: the full experiment suite through the sequential engine
-// versus the parallel one. RunAllParallel renders the byte-identical report
-// either way, so the pair isolates the scheduling win (a wash at one core,
-// approaching the worker count as cores grow).
+// Hot-path pair: the full experiment suite through the legacy flat
+// registry (every experiment recomputes its own intermediates, one worker,
+// no memoization) versus the dependency-DAG engine at -j 4 with the
+// process-warm default cache. Both render byte-identical reports; the gap
+// is the scheduling-plus-memoization win the refactor exists for — shared
+// sub-results computed once across experiments and reused across runs.
 
-func benchRunAll(b *testing.B, workers int) {
-	b.Helper()
+func BenchmarkRunAllSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		report, pass := core.RunAllParallel(workers)
+		report, pass := core.RunAllFlat(1)
 		if !pass {
 			b.Fatal("experiment suite failed")
 		}
@@ -104,8 +105,53 @@ func benchRunAll(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
-func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, 0) } // 0 = GOMAXPROCS
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, pass := core.RunAllParallel(4)
+		if !pass {
+			b.Fatal("experiment suite failed")
+		}
+		if len(report) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkDAGSchedule isolates the engine's two levers at -j 4: "flat" is
+// the legacy pool with per-experiment recomputation, "dag-cold" pays the
+// full graph once on a fresh engine (its win over flat is sub-result
+// sharing alone), and "dag-warm" reuses one engine across iterations (the
+// steady state of a long-lived tool, where memoized experiments only
+// re-render).
+func BenchmarkDAGSchedule(b *testing.B) {
+	verify := func(b *testing.B, report string, pass bool) {
+		b.Helper()
+		if !pass || len(report) == 0 {
+			b.Fatal("experiment suite failed")
+		}
+	}
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			report, pass := core.RunAllFlat(4)
+			verify(b, report, pass)
+		}
+	})
+	b.Run("dag-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			report, pass := core.NewEngine().RunAllParallel(4)
+			verify(b, report, pass)
+		}
+	})
+	b.Run("dag-warm", func(b *testing.B) {
+		en := core.NewEngine()
+		en.RunAllParallel(4) // populate the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			report, pass := en.RunAllParallel(4)
+			verify(b, report, pass)
+		}
+	})
+}
 
 // Cross-platform sweep: the Kurth et al. climate study (S1) replayed on
 // every registered machine. One iteration evaluates the full study on one

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Regression gate: `summit-bench -check old.json` parses a fresh
@@ -16,6 +17,45 @@ import (
 
 // checkTolerance is the fractional regression allowed before failing.
 const checkTolerance = 0.30
+
+// minParallelSpeedup is the floor on BenchmarkRunAllSequential /
+// BenchmarkRunAllParallel: the DAG engine's memoized parallel path must
+// beat the flat sequential baseline by at least this factor, or the
+// scheduler refactor has regressed to recomputing shared work. Unlike the
+// pairwise tolerances, this is a ratio within ONE fresh run, so runner
+// speed cancels out and the rule can gate strictly.
+const minParallelSpeedup = 1.5
+
+// checkSpeedupRatio enforces minParallelSpeedup on a fresh document. Both
+// benchmarks absent is fine (a partial bench sweep); exactly one present
+// is reported as a failure, since the pair only means anything together.
+func checkSpeedupRatio(fresh *document) (line string, ok bool) {
+	var seq, par *result
+	for i := range fresh.Benchmarks {
+		r := &fresh.Benchmarks[i]
+		switch strings.TrimRight(r.Name, "-0123456789") { // strip -<GOMAXPROCS>
+		case "BenchmarkRunAllSequential":
+			seq = r
+		case "BenchmarkRunAllParallel":
+			par = r
+		}
+	}
+	if seq == nil && par == nil {
+		return "", true
+	}
+	if seq == nil || par == nil || par.NsPerOp == 0 {
+		return fmt.Sprintf("  RunAllSequential/RunAllParallel ratio: pair incomplete (seq=%v par=%v)",
+			seq != nil, par != nil), false
+	}
+	ratio := seq.NsPerOp / par.NsPerOp
+	ok = ratio >= minParallelSpeedup
+	status := "ok"
+	if !ok {
+		status = "REGRESSION"
+	}
+	return fmt.Sprintf("  RunAllSequential/RunAllParallel ratio %38.2fx (floor %.1fx)  [%s]",
+		ratio, minParallelSpeedup, status), ok
+}
 
 // compareDoc diffs fresh against old benchmark-by-benchmark and returns
 // human-readable report lines plus the names of failing benchmarks.
@@ -89,6 +129,12 @@ func runCheck(baselinePath string, fresh *document) {
 		os.Exit(1)
 	}
 	lines, failed := compareDoc(&old, fresh)
+	if line, ok := checkSpeedupRatio(fresh); line != "" {
+		lines = append(lines, line)
+		if !ok {
+			failed = append(failed, "RunAllSequential/RunAllParallel")
+		}
+	}
 	fmt.Printf("benchmark check vs %s (tolerance +-%.0f%%):\n", baselinePath, 100*checkTolerance)
 	for _, l := range lines {
 		fmt.Println(l)

@@ -65,6 +65,31 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	}
 }
 
+func TestSpeedupRatio(t *testing.T) {
+	// 2x speedup clears the 1.5x floor; the -8 GOMAXPROCS suffix must not
+	// hide the pair.
+	fresh := doc(result{Name: "BenchmarkRunAllSequential-8", NsPerOp: 2000},
+		result{Name: "BenchmarkRunAllParallel-8", NsPerOp: 1000})
+	if line, ok := checkSpeedupRatio(fresh); !ok {
+		t.Fatalf("2x speedup failed the floor: %s", line)
+	}
+	// 1.2x is below the floor.
+	fresh = doc(result{Name: "BenchmarkRunAllSequential", NsPerOp: 1200},
+		result{Name: "BenchmarkRunAllParallel", NsPerOp: 1000})
+	if line, ok := checkSpeedupRatio(fresh); ok {
+		t.Fatalf("1.2x speedup passed the floor: %s", line)
+	}
+	// Neither present: not this sweep's concern.
+	if line, ok := checkSpeedupRatio(doc(result{Name: "BenchmarkOther", NsPerOp: 1})); !ok || line != "" {
+		t.Fatalf("absent pair reported: %q", line)
+	}
+	// Half the pair present: the rule cannot be evaluated — fail loudly.
+	fresh = doc(result{Name: "BenchmarkRunAllParallel", NsPerOp: 1000})
+	if _, ok := checkSpeedupRatio(fresh); ok {
+		t.Fatal("incomplete pair passed")
+	}
+}
+
 func TestParseBenchStream(t *testing.T) {
 	in := `goos: linux
 goarch: amd64

@@ -12,6 +12,7 @@ package autograd
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"summitscale/internal/tensor"
 )
@@ -25,6 +26,12 @@ type Value struct {
 	requiresGrad bool
 	parents      []*Value
 	backward     func()
+	// visited holds the id of the last Backward traversal that saw this
+	// node, replacing a per-call visited map (one heap map per step) with
+	// a field write. Ids come from a process-wide atomic counter, so
+	// concurrent Backward calls over disjoint graphs stay correct; as with
+	// gradient accumulation, a graph belongs to one goroutine at a time.
+	visited uint64
 }
 
 // NewLeaf wraps t as a graph leaf. If requiresGrad is true, Backward will
@@ -35,6 +42,20 @@ func NewLeaf(t *tensor.Tensor, requiresGrad bool) *Value {
 
 // Constant wraps t as a non-differentiable leaf.
 func Constant(t *tensor.Tensor) *Value { return NewLeaf(t, false) }
+
+// ConstantIn is Constant bootstrapping arena allocation: when a is non-nil
+// the leaf holds a copy of t in the arena, and because tensor operations
+// inherit their receiver's arena, every downstream node of the graph — and
+// every backward temporary derived from it — is arena-allocated too. A nil
+// arena wraps t directly, exactly like Constant.
+func ConstantIn(a *tensor.Arena, t *tensor.Tensor) *Value {
+	if a == nil {
+		return Constant(t)
+	}
+	c := tensor.NewIn(a, t.Shape()...)
+	copy(c.Data(), t.Data())
+	return NewLeaf(c, false)
+}
 
 // RequiresGrad reports whether gradients flow to this value.
 func (v *Value) RequiresGrad() bool { return v.requiresGrad }
@@ -83,7 +104,7 @@ func (v *Value) accumScaled(g *tensor.Tensor, s float64) {
 // through the graph in reverse topological order.
 func (v *Value) Backward(seed *tensor.Tensor) {
 	if seed == nil {
-		seed = tensor.Full(1, v.Data.Shape()...)
+		seed = tensor.FullIn(v.Data.Arena(), 1, v.Data.Shape()...)
 	}
 	if !v.Data.SameShape(seed) {
 		panic(fmt.Sprintf("autograd: seed shape %v vs value %v", seed.Shape(), v.Data.Shape()))
@@ -98,15 +119,17 @@ func (v *Value) Backward(seed *tensor.Tensor) {
 	}
 }
 
+var backwardEpoch atomic.Uint64
+
 func topoSort(root *Value) []*Value {
-	var order []*Value
-	visited := map[*Value]bool{}
+	epoch := backwardEpoch.Add(1)
+	order := make([]*Value, 0, 32)
 	var visit func(*Value)
 	visit = func(n *Value) {
-		if visited[n] || !n.requiresGrad {
+		if n.visited == epoch || !n.requiresGrad {
 			return
 		}
-		visited[n] = true
+		n.visited = epoch
 		for _, p := range n.parents {
 			visit(p)
 		}
@@ -157,8 +180,11 @@ func Scale(a *Value, s float64) *Value {
 func MatMul(a, b *Value) *Value {
 	n := newNode(a.Data.MatMul(b.Data), a, b)
 	n.backward = func() {
-		a.accum(n.Grad.MatMul(b.Data.Transpose2D()))
-		b.accum(a.Data.Transpose2D().MatMul(n.Grad))
+		// Transposes of the (possibly heap-resident) operands go to the
+		// gradient's arena so parameter matrices don't force per-step heap
+		// temporaries.
+		a.accum(n.Grad.MatMul(b.Data.Transpose2DIn(n.Grad.Arena())))
+		b.accum(a.Data.Transpose2DIn(n.Grad.Arena()).MatMul(n.Grad))
 	}
 	return n
 }
@@ -197,7 +223,7 @@ func ReLU(a *Value) *Value {
 		return 0
 	}), a)
 	n.backward = func() {
-		g := tensor.New(a.Data.Shape()...)
+		g := tensor.NewIn(n.Grad.Arena(), a.Data.Shape()...)
 		ad, gd, nd := a.Data.Data(), g.Data(), n.Grad.Data()
 		for i := range ad {
 			if ad[i] > 0 {
@@ -214,7 +240,7 @@ func Tanh(a *Value) *Value {
 	out := a.Data.Apply(math.Tanh)
 	n := newNode(out, a)
 	n.backward = func() {
-		g := tensor.New(a.Data.Shape()...)
+		g := tensor.NewIn(n.Grad.Arena(), a.Data.Shape()...)
 		od, gd, nd := out.Data(), g.Data(), n.Grad.Data()
 		for i := range od {
 			gd[i] = nd[i] * (1 - od[i]*od[i])
@@ -229,7 +255,7 @@ func Sigmoid(a *Value) *Value {
 	out := a.Data.Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
 	n := newNode(out, a)
 	n.backward = func() {
-		g := tensor.New(a.Data.Shape()...)
+		g := tensor.NewIn(n.Grad.Arena(), a.Data.Shape()...)
 		od, gd, nd := out.Data(), g.Data(), n.Grad.Data()
 		for i := range od {
 			gd[i] = nd[i] * od[i] * (1 - od[i])
@@ -249,7 +275,7 @@ func GELU(a *Value) *Value {
 	out := a.Data.Apply(f)
 	n := newNode(out, a)
 	n.backward = func() {
-		g := tensor.New(a.Data.Shape()...)
+		g := tensor.NewIn(n.Grad.Arena(), a.Data.Shape()...)
 		ad, gd, nd := a.Data.Data(), g.Data(), n.Grad.Data()
 		for i := range ad {
 			x := ad[i]
@@ -281,7 +307,7 @@ func Square(a *Value) *Value {
 func Sum(a *Value) *Value {
 	n := newNode(tensor.FromSlice([]float64{a.Data.Sum()}, 1), a)
 	n.backward = func() {
-		a.accum(tensor.Full(n.Grad.At(0), a.Data.Shape()...))
+		a.accum(tensor.FullIn(n.Grad.Arena(), n.Grad.At(0), a.Data.Shape()...))
 	}
 	return n
 }
@@ -291,7 +317,7 @@ func Mean(a *Value) *Value {
 	size := float64(a.Data.Size())
 	n := newNode(tensor.FromSlice([]float64{a.Data.Sum() / size}, 1), a)
 	n.backward = func() {
-		a.accum(tensor.Full(n.Grad.At(0)/size, a.Data.Shape()...))
+		a.accum(tensor.FullIn(n.Grad.Arena(), n.Grad.At(0)/size, a.Data.Shape()...))
 	}
 	return n
 }
@@ -325,24 +351,29 @@ func Conv2DScratch(a, kernel, bias *Value, opts tensor.Conv2DOpts, scratch *Conv
 	} else {
 		out = tensor.Conv2D(a.Data, kernel.Data, bt, opts)
 	}
-	parents := []*Value{a, kernel}
+	var n *Value
 	if bias != nil {
-		parents = append(parents, bias)
+		n = newNode(out, a, kernel, bias)
+	} else {
+		n = newNode(out, a, kernel)
 	}
-	n := newNode(out, parents...)
 	n.backward = func() {
 		nIn, c, h, w := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
 		f, kh, kw := kernel.Data.Dim(0), kernel.Data.Dim(2), kernel.Data.Dim(3)
 		oh, ow := out.Dim(2), out.Dim(3)
 
 		// dOut reshaped to (N*OH*OW, F): spatial-major like Im2Col rows.
-		dflat := tensor.New(nIn*oh*ow, f)
-		gd := n.Grad.Data()
+		// The fill loop indexes the backing slices directly — the variadic
+		// Set would re-derive the row-major offset per element.
+		dflat := tensor.NewIn(n.Grad.Arena(), nIn*oh*ow, f)
+		gd, dd := n.Grad.Data(), dflat.Data()
 		for img := 0; img < nIn; img++ {
 			for ch := 0; ch < f; ch++ {
+				src := ((img*f + ch) * oh) * ow
 				for oy := 0; oy < oh; oy++ {
 					for ox := 0; ox < ow; ox++ {
-						dflat.Set(gd[((img*f+ch)*oh+oy)*ow+ox], (img*oh+oy)*ow+ox, ch)
+						dd[((img*oh+oy)*ow+ox)*f+ch] = gd[src]
+						src++
 					}
 				}
 			}
@@ -361,7 +392,7 @@ func Conv2DScratch(a, kernel, bias *Value, opts tensor.Conv2DOpts, scratch *Conv
 			bias.accum(dflat.SumAxis0())
 		}
 		// dInput = Col2Im(dflat @ kernelMat), kernelMat (F, C*KH*KW).
-		kmat := kernel.Data.Reshape(f, c*kh*kw)
+		kmat := kernel.Data.ReshapeIn(n.Grad.Arena(), f, c*kh*kw)
 		dcols := dflat.MatMul(kmat)
 		a.accum(tensor.Col2Im(dcols, nIn, c, h, w, kh, kw, opts))
 	}
@@ -373,7 +404,7 @@ func MaxPool2D(a *Value, k, stride int) *Value {
 	out, arg := tensor.MaxPool2D(a.Data, k, stride)
 	n := newNode(out, a)
 	n.backward = func() {
-		g := tensor.New(a.Data.Shape()...)
+		g := tensor.NewIn(n.Grad.Arena(), a.Data.Shape()...)
 		gd, nd := g.Data(), n.Grad.Data()
 		for i, src := range arg {
 			gd[src] += nd[i]
@@ -390,7 +421,7 @@ func AvgPoolGlobal(a *Value) *Value {
 	n.backward = func() {
 		nIn, c, h, w := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
 		inv := 1 / float64(h*w)
-		g := tensor.New(a.Data.Shape()...)
+		g := tensor.NewIn(n.Grad.Arena(), a.Data.Shape()...)
 		gd, nd := g.Data(), n.Grad.Data()
 		for img := 0; img < nIn; img++ {
 			for ch := 0; ch < c; ch++ {
@@ -415,21 +446,26 @@ func SoftmaxCrossEntropy(logits *Value, labels []int) *Value {
 		panic(fmt.Sprintf("autograd: %d labels for %d rows", len(labels), nRows))
 	}
 	probs := logits.Data.SoftmaxRows()
+	nCols := probs.Dim(1)
+	pd := probs.Data()
 	var loss float64
 	for i, lab := range labels {
-		p := probs.At(i, lab)
+		p := pd[i*nCols+lab]
 		if p < 1e-300 {
 			p = 1e-300
 		}
 		loss -= math.Log(p)
 	}
 	loss /= float64(nRows)
-	n := newNode(tensor.FromSlice([]float64{loss}, 1), logits)
+	lt := tensor.NewIn(logits.Data.Arena(), 1)
+	lt.Data()[0] = loss
+	n := newNode(lt, logits)
 	n.backward = func() {
 		scale := n.Grad.At(0) / float64(nRows)
 		g := probs.Clone()
+		gdata := g.Data()
 		for i, lab := range labels {
-			g.Set(g.At(i, lab)-1, i, lab)
+			gdata[i*nCols+lab] -= 1
 		}
 		logits.accum(g.ScaleInPlace(scale))
 	}
@@ -453,7 +489,7 @@ func Softmax(a *Value) *Value {
 	n := newNode(out, a)
 	n.backward = func() {
 		m, c := out.Dim(0), out.Dim(1)
-		g := tensor.New(m, c)
+		g := tensor.NewIn(n.Grad.Arena(), m, c)
 		od, gd, nd := out.Data(), g.Data(), n.Grad.Data()
 		for i := 0; i < m; i++ {
 			row := od[i*c : (i+1)*c]

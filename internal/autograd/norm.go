@@ -12,8 +12,8 @@ import (
 // normalization used in transformer blocks.
 func LayerNorm(a, gain, shift *Value, eps float64) *Value {
 	m, c := a.Data.Dim(0), a.Data.Dim(1)
-	out := tensor.New(m, c)
-	xhat := tensor.New(m, c)
+	out := tensor.NewIn(a.Data.Arena(), m, c)
+	xhat := tensor.NewIn(a.Data.Arena(), m, c)
 	invStd := make([]float64, m)
 	ad, od, xd := a.Data.Data(), out.Data(), xhat.Data()
 	gd, sd := gain.Data.Data(), shift.Data.Data()
@@ -41,9 +41,9 @@ func LayerNorm(a, gain, shift *Value, eps float64) *Value {
 	n := newNode(out, a, gain, shift)
 	n.backward = func() {
 		nd := n.Grad.Data()
-		ga := tensor.New(m, c)
-		gg := tensor.New(c)
-		gs := tensor.New(c)
+		ga := tensor.NewIn(n.Grad.Arena(), m, c)
+		gg := tensor.NewIn(n.Grad.Arena(), c)
+		gs := tensor.NewIn(n.Grad.Arena(), c)
 		gad, ggd, gsd := ga.Data(), gg.Data(), gs.Data()
 		for i := 0; i < m; i++ {
 			// Per-row reductions for the normalization chain rule.
@@ -73,8 +73,8 @@ func LayerNorm(a, gain, shift *Value, eps float64) *Value {
 func BatchNorm2D(a, gain, shift *Value, eps float64) *Value {
 	nIn, c, h, w := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2), a.Data.Dim(3)
 	cnt := float64(nIn * h * w)
-	out := tensor.New(nIn, c, h, w)
-	xhat := tensor.New(nIn, c, h, w)
+	out := tensor.NewIn(a.Data.Arena(), nIn, c, h, w)
+	xhat := tensor.NewIn(a.Data.Arena(), nIn, c, h, w)
 	invStd := make([]float64, c)
 	ad, od, xd := a.Data.Data(), out.Data(), xhat.Data()
 	gd, sd := gain.Data.Data(), shift.Data.Data()
@@ -110,9 +110,9 @@ func BatchNorm2D(a, gain, shift *Value, eps float64) *Value {
 	n := newNode(out, a, gain, shift)
 	n.backward = func() {
 		nd := n.Grad.Data()
-		ga := tensor.New(nIn, c, h, w)
-		gg := tensor.New(c)
-		gs := tensor.New(c)
+		ga := tensor.NewIn(n.Grad.Arena(), nIn, c, h, w)
+		gg := tensor.NewIn(n.Grad.Arena(), c)
+		gs := tensor.NewIn(n.Grad.Arena(), c)
 		gad, ggd, gsd := ga.Data(), gg.Data(), gs.Data()
 		for ch := 0; ch < c; ch++ {
 			var sumDy, sumDyXhat float64

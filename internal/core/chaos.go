@@ -38,24 +38,31 @@ func ChaosExperimentsOn(p platform.Platform) []Experiment {
 // to the invariant suite (deterministic replay, non-negative time, byte
 // conservation, monotone degradation).
 func chaosSweepExperiment(p platform.Platform) Experiment {
-	run := func(ob *obs.Observer) Result {
+	run := func(c *Cache, ob *obs.Observer) Result {
 		var metrics []Metric
 		var detail strings.Builder
 		passing := 0.0
 		names := chaos.Names()
 		for i, name := range names {
+			var rep *chaos.Report
+			var err error
+			if ob != nil && i == 0 {
+				// One representative scenario feeds the trace; observed
+				// runs bypass the cache so spans are re-recorded.
+				var sc *chaos.Scenario
+				if sc, err = chaos.Builtin(name); err == nil {
+					rep, err = chaos.Run(sc, resilienceSeed, chaos.Config{Platform: p, Obs: ob})
+				}
+			} else {
+				rep, err = cachedChaosReport(c, p, name)
+			}
+			if err != nil {
+				return Result{Metrics: []Metric{{Name: name + " failed", Paper: 0, Measured: 1, Tol: 1e-9}},
+					Detail: err.Error()}
+			}
 			sc, err := chaos.Builtin(name)
 			if err != nil {
 				return Result{Metrics: []Metric{{Name: "builtin scenario failed", Paper: 0, Measured: 1, Tol: 1e-9}},
-					Detail: err.Error()}
-			}
-			cfg := chaos.Config{Platform: p}
-			if i == 0 {
-				cfg.Obs = ob // one representative scenario feeds the trace
-			}
-			rep, err := chaos.Run(sc, resilienceSeed, cfg)
-			if err != nil {
-				return Result{Metrics: []Metric{{Name: name + " failed", Paper: 0, Measured: 1, Tol: 1e-9}},
 					Detail: err.Error()}
 			}
 			if err := chaos.CheckInvariants(sc, resilienceSeed, chaos.Config{Platform: p}); err != nil {
@@ -76,14 +83,20 @@ func chaosSweepExperiment(p platform.Platform) Experiment {
 		}}, metrics...)
 		return Result{Metrics: metrics, Detail: detail.String()}
 	}
+	var needs []string
+	for _, name := range chaos.Names() {
+		needs = append(needs, keyChaosReport(p, name))
+	}
 	return Experiment{
 		ID:    "RS3",
 		Title: "chaos — adversarial scenario sweep across all simulators",
 		PaperClaim: "leadership campaigns die to correlated failure regimes (rack cascades, " +
 			"I/O brownouts, facility outages), not independent crashes; the simulators must " +
 			"stay deterministic and physical under all of them",
-		Run:    func() Result { return run(nil) },
-		RunObs: run,
+		Needs:  needs,
+		Run:    func() Result { return run(nil, nil) },
+		RunIn:  func(c *Cache) Result { return run(c, nil) },
+		RunObs: func(ob *obs.Observer) Result { return run(nil, ob) },
 	}
 }
 
@@ -94,10 +107,17 @@ func chaosSweepExperiment(p platform.Platform) Experiment {
 // gated failover with hedged launches. Every policy must win on the
 // scenario built to need it; disabling any one demonstrably regresses.
 func chaosPolicyExperiment(p platform.Platform) Experiment {
-	run := func(ob *obs.Observer) Result {
+	// The three policy scenarios are exactly the runs RS3's sweep already
+	// performs at the same seed and platform, so unobserved runs resolve
+	// them through the shared cache instead of re-simulating.
+	policyScenarios := []string{"rack-cascade", "facility-outage", "perfect-storm"}
+	run := func(c *Cache, ob *obs.Observer) Result {
 		var metrics []Metric
 		var detail strings.Builder
 		report := func(name string) (*chaos.Report, error) {
+			if ob == nil {
+				return cachedChaosReport(c, p, name)
+			}
 			sc, err := chaos.Builtin(name)
 			if err != nil {
 				return nil, err
@@ -162,14 +182,20 @@ func chaosPolicyExperiment(p platform.Platform) Experiment {
 		detail.WriteString(indent(storm.Render()))
 		return Result{Metrics: metrics, Detail: detail.String()}
 	}
+	var needs []string
+	for _, name := range policyScenarios {
+		needs = append(needs, keyChaosReport(p, name))
+	}
 	return Experiment{
 		ID:    "RS4",
 		Title: "chaos — graceful-degradation policies vs their absence",
 		PaperClaim: "surviving correlated failures at scale takes policy, not luck: " +
 			"re-estimated checkpoint cadence, elastic grow-back at commit boundaries, " +
 			"and health-gated facility failover each beat the do-nothing baseline",
-		Run:    func() Result { return run(nil) },
-		RunObs: run,
+		Needs:  needs,
+		Run:    func() Result { return run(nil, nil) },
+		RunIn:  func(c *Cache) Result { return run(c, nil) },
+		RunObs: func(ob *obs.Observer) Result { return run(nil, ob) },
 	}
 }
 

@@ -88,7 +88,7 @@ func ckptShape(p platform.Platform, job perf.Job) faults.RunShape {
 // failure traces and compare the measured optimum with Young/Daly.
 func checkpointSweepExperiment(p platform.Platform) Experiment {
 	ref := p.IsPaperBaseline()
-	run := func(ob *obs.Observer) Result {
+	run := func(c *Cache, ob *obs.Observer) Result {
 		params := faults.ParamsFor(p.Machine, 0)
 		var metrics []Metric
 		var detail strings.Builder
@@ -99,8 +99,8 @@ func checkpointSweepExperiment(p platform.Platform) Experiment {
 			id    string
 			study ScalingStudy
 		}{
-			{"Kurth", studyByID(p, "S1")},
-			{"Blanchard", studyByID(p, "S5")},
+			{"Kurth", studyByID(c, p, "S1")},
+			{"Blanchard", studyByID(c, p, "S5")},
 		} {
 			job := sc.study.Job
 			shape := ckptShape(p, job)
@@ -158,8 +158,10 @@ func checkpointSweepExperiment(p platform.Platform) Experiment {
 		Title: "§IV-B resilience — checkpoint/restart under node failures",
 		PaperClaim: "near-full-machine runs survive node failures every few hours; " +
 			"checkpoint cadence balances write cost against lost work (Young/Daly)",
-		Run:    func() Result { return run(nil) },
-		RunObs: run,
+		Needs:  []string{keyScalingStudies(p)},
+		Run:    func() Result { return run(nil, nil) },
+		RunIn:  func(c *Cache) Result { return run(c, nil) },
+		RunObs: func(ob *obs.Observer) Result { return run(nil, ob) },
 	}
 }
 
@@ -185,9 +187,10 @@ func renderSweepCompact(pts []faults.SweepPoint, daly units.Seconds) string {
 	return b.String()
 }
 
-// studyByID picks one of the platform's §IV-B scaling studies.
-func studyByID(p platform.Platform, id string) ScalingStudy {
-	for _, s := range ScalingStudiesOn(p) {
+// studyByID picks one of the platform's §IV-B scaling studies, resolving
+// the study set through the sub-result cache.
+func studyByID(c *Cache, p platform.Platform, id string) ScalingStudy {
+	for _, s := range cachedScalingStudies(c, p) {
 		if s.ID == id {
 			return s
 		}

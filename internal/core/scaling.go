@@ -241,17 +241,20 @@ func scalingExperiments() []Experiment {
 }
 
 // ScalingExperimentsOn wraps each §IV-B study on the given platform as a
-// runnable Experiment.
+// runnable Experiment. The calibrated study set is a shared sub-result
+// (RS1's checkpoint sweep reuses the S1/S5 run shapes), so each
+// experiment declares it in Needs and resolves its own study through the
+// cache by ID.
 func ScalingExperimentsOn(p platform.Platform) []Experiment {
 	var out []Experiment
 	for _, s := range ScalingStudiesOn(p) {
-		s := s
-		out = append(out, Experiment{
-			ID:         s.ID,
+		id := s.ID
+		out = append(out, cachedExperiment(Experiment{
+			ID:         id,
 			Title:      "§IV-B scaling — " + s.Name,
 			PaperClaim: s.PaperClaim,
-			Run:        func() Result { return RunScalingStudy(s) },
-		})
+			Needs:      []string{keyScalingStudies(p)},
+		}, func(c *Cache) Result { return RunScalingStudy(studyByID(c, p, id)) }))
 	}
 	return out
 }

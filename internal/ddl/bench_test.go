@@ -72,8 +72,12 @@ func BenchmarkTrainStepAlloc(b *testing.B) {
 				rank.noScratch = noScratch
 				x := tensor.Randn(rng, 1, 8, 1, 8, 8)
 				labels := []int{0, 1, 2, 3, 0, 1, 2, 3}
+				// ConstantIn routes the step's graph through the rank's
+				// arena; in the noScratch baseline Arena() is nil and this
+				// is plain heap allocation, exactly like Constant.
 				lossFn := func(int) *autograd.Value {
-					return autograd.SoftmaxCrossEntropy(model.Forward(autograd.Constant(x)), labels)
+					return autograd.SoftmaxCrossEntropy(model.Forward(
+						autograd.ConstantIn(rank.Arena(), x)), labels)
 				}
 				rank.Step(lossFn) // warm the scratch buffers
 				b.ReportAllocs()
@@ -86,6 +90,41 @@ func BenchmarkTrainStepAlloc(b *testing.B) {
 	}
 	b.Run("flatten-alloc", run(true))
 	b.Run("scratch", run(false))
+}
+
+// BenchmarkStepOverlap compares synchronous lagged allreduce against the
+// pipelined variant on a two-rank world: overlap hides the collective
+// behind the next step's backward pass, so its win grows with the ratio of
+// communication to compute (modest here, where both ranks share one host).
+func BenchmarkStepOverlap(b *testing.B) {
+	run := func(overlap bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			w := mp.NewWorld(2)
+			w.Run(func(c *mp.Comm) {
+				rng := stats.NewRNG(uint64(17 + c.Rank()))
+				model := nn.NewSmallCNN(rng, nn.SmallCNNConfig{
+					InChannels: 1, ImageSize: 8, Channels: []int{8, 16}, Classes: 4})
+				rank := NewRank(c, model, optim.NewSGD(0.01),
+					Config{GradLag: true, Overlap: overlap})
+				x := tensor.Randn(rng, 1, 8, 1, 8, 8)
+				labels := []int{0, 1, 2, 3, 0, 1, 2, 3}
+				lossFn := func(int) *autograd.Value {
+					return autograd.SoftmaxCrossEntropy(model.Forward(
+						autograd.ConstantIn(rank.Arena(), x)), labels)
+				}
+				rank.Step(lossFn) // warm scratch; ranks sync via the collective
+				if c.Rank() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					rank.Step(lossFn)
+				}
+				rank.Flush()
+			})
+		}
+	}
+	b.Run("sync", run(false))
+	b.Run("overlap", run(true))
 }
 
 // TestFlattenGradsIntoReusesBuffer pins the scratch semantics: a large
@@ -182,7 +221,8 @@ func TestStepScratchMatchesAllocatingPath(t *testing.T) {
 			labels := []int{0, 1, 2, 0}
 			for step := 0; step < 5; step++ {
 				rank.Step(func(int) *autograd.Value {
-					return autograd.SoftmaxCrossEntropy(model.Forward(autograd.Constant(data)), labels)
+					return autograd.SoftmaxCrossEntropy(model.Forward(
+						autograd.ConstantIn(rank.Arena(), data)), labels)
 				})
 			}
 			if c.Rank() == 0 {

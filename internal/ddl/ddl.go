@@ -112,6 +112,14 @@ type Config struct {
 	// the current one, overlapping communication with computation at the
 	// cost of one step of staleness (Kurth et al.).
 	GradLag bool
+	// Overlap actually pipelines the lagged allreduce with compute: the
+	// collective is launched asynchronously and runs during the NEXT
+	// step's backward pass, being retired just before its result is
+	// applied. Requires GradLag (without the lag there is no window to
+	// hide the communication in) and is bit-identical to synchronous
+	// GradLag — same reduction arithmetic, same application schedule.
+	// Call Rank.Flush before using the Comm for anything else.
+	Overlap bool
 	// Allreduce selects the collective; nil means ring.
 	Allreduce func(c *mp.Comm, grads []float64) []float64
 	// Obs, if non-nil, receives step counters (ddl.steps,
@@ -131,13 +139,41 @@ type Rank struct {
 	Opt    optim.Optimizer
 	Config Config
 
-	lagged []float64 // pending gradient when GradLag is on
-	accum  []float64
-	flat   []float64 // persistent flat-gradient scratch reused every step
+	lagged  []float64         // pending gradient when GradLag is on
+	pending *mp.PendingReduce // in-flight collective when Overlap is on
+	accum   []float64
+	flat    []float64 // persistent flat-gradient scratch reused every step
+	// arena is the rank's step-scoped tensor allocator (see Arena); it is
+	// rewound at the top of every Step, so after one warm-up step the
+	// forward/backward graph performs no tensor heap allocation.
+	arena *tensor.Arena
+	// params caches Model.Params(): layer modules rebuild the slice (and
+	// its name strings) on every call, which costs dozens of allocations
+	// per step when taken twice per Step. Parameter sets are stable for
+	// the life of a Rank.
+	params []nn.Param
 	// noScratch restores the per-step FlattenGrads allocation; kept as the
 	// pre-optimization baseline for BenchmarkTrainStepAlloc.
 	noScratch bool
 	step      int
+}
+
+// Arena returns the rank's step-scoped scratch arena, creating it on first
+// use. A training loop passes it to autograd.ConstantIn when wrapping the
+// input batch so that the whole forward/backward graph — activations,
+// backward temporaries, and first-use parameter gradients — is bump-
+// allocated and recycled at the next Step. The arena is valid for exactly
+// one step: Step resets it before building the next graph. In the
+// noScratch baseline configuration it returns nil, which ConstantIn and
+// the tensor layer treat as plain heap allocation.
+func (r *Rank) Arena() *tensor.Arena {
+	if r.noScratch {
+		return nil
+	}
+	if r.arena == nil {
+		r.arena = tensor.NewArena()
+	}
+	return r.arena
 }
 
 // NewRank wires a model and optimizer to a communicator.
@@ -145,7 +181,33 @@ func NewRank(c *mp.Comm, model nn.Module, opt optim.Optimizer, cfg Config) *Rank
 	if cfg.AccumSteps <= 0 {
 		cfg.AccumSteps = 1
 	}
+	if cfg.Overlap && !cfg.GradLag {
+		panic("ddl: Overlap requires GradLag — without the one-step lag there is no compute to hide the allreduce behind")
+	}
 	return &Rank{Comm: c, Model: model, Opt: opt, Config: cfg}
+}
+
+// HierarchicalAllreduce returns a Config.Allreduce that routes the gradient
+// exchange through mp's two-level island collective (intra-island reduce to
+// a leader, ring among leaders, broadcast back), matching Summit's
+// NVLink-island topology. Compose with Overlap to pipeline the whole
+// hierarchy with backward compute.
+func HierarchicalAllreduce(groupSize int) func(*mp.Comm, []float64) []float64 {
+	return func(c *mp.Comm, g []float64) []float64 {
+		return c.AllReduceHierarchical(g, groupSize)
+	}
+}
+
+// Flush retires an in-flight overlap collective without applying its
+// result — the same fate synchronous GradLag gives the final step's
+// reduced gradient. It must be called after the last Step and before the
+// rank's Comm is used for anything else (gathers, consistency checks):
+// the helper goroutine owns the Comm until the collective completes.
+func (r *Rank) Flush() {
+	if r.pending != nil {
+		r.pending.Wait()
+		r.pending = nil
+	}
 }
 
 // Step runs one training step: lossFn must zero nothing itself — it builds
@@ -154,13 +216,34 @@ func NewRank(c *mp.Comm, model nn.Module, opt optim.Optimizer, cfg Config) *Rank
 // micro-batches for this step. Gradients are averaged over all ranks and
 // micro-batches before the optimizer update.
 func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
-	params := r.Model.Params()
+	if r.params == nil {
+		r.params = r.Model.Params()
+	}
+	params := r.params
 	var lossSum float64
-	nn.ZeroGrads(r.Model)
+	// Recycle last step's graph memory before dropping the gradients that
+	// point into it: nothing may touch arena-backed tensors between these
+	// two calls.
+	if r.arena != nil {
+		r.arena.Reset()
+	}
+	for _, p := range params {
+		p.Value.ZeroGrad()
+	}
 	for m := 0; m < r.Config.AccumSteps; m++ {
 		loss := lossFn(m)
 		loss.Backward(nil)
 		lossSum += loss.Data.At(0)
+	}
+	// Overlap mode: the previous step's collective has been running behind
+	// the backward pass above. Retire it now, before FlattenGradsInto
+	// reuses the flat buffer the helper goroutine is still reading — this
+	// also keeps the Comm to one outstanding collective at a time, which
+	// the tag space and receive buffering require.
+	var lagApply []float64
+	if r.pending != nil {
+		lagApply = r.pending.Wait()
+		r.pending = nil
 	}
 	var flat []float64
 	if r.noScratch {
@@ -183,7 +266,14 @@ func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
 	if allreduce == nil {
 		allreduce = func(c *mp.Comm, g []float64) []float64 { return c.AllReduceRing(g) }
 	}
-	reduced := allreduce(r.Comm, flat)
+	var reduced []float64
+	if r.Config.Overlap {
+		// Launch asynchronously; the collective executes while the next
+		// step's backward pass runs and is consumed as lagApply then.
+		r.pending = r.Comm.AllReduceAsync(flat, allreduce)
+	} else {
+		reduced = allreduce(r.Comm, flat)
+	}
 	gradBytes := int64(len(flat) * 8)
 	r.Config.Obs.Inc("ddl.steps")
 	r.Config.Obs.Add("ddl.allreduce.bytes", gradBytes)
@@ -201,7 +291,11 @@ func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
 
 	apply := reduced
 	if r.Config.GradLag {
-		apply, r.lagged = r.lagged, reduced
+		if r.Config.Overlap {
+			apply = lagApply
+		} else {
+			apply, r.lagged = r.lagged, reduced
+		}
 		if apply == nil {
 			// First step: nothing to apply yet.
 			r.step++

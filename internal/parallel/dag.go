@@ -1,0 +1,230 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node is one unit of work in a dependency DAG: it may run only after
+// every node named in Deps has completed. IDs are free-form strings;
+// the experiment engine uses "sub/..." keys for shared intermediates and
+// "exp/..." keys for experiment bodies.
+type Node struct {
+	ID   string
+	Deps []string
+	Run  func()
+}
+
+// DAGError reports a malformed graph (duplicate ID, unknown dependency,
+// or dependency cycle) before any node has run.
+type DAGError struct{ Reason string }
+
+func (e *DAGError) Error() string { return "parallel: invalid DAG: " + e.Reason }
+
+// RunDAG executes the nodes in dependency order using at most the pool's
+// width in concurrent goroutines. The graph is validated up front —
+// duplicate IDs, unknown dependencies, and cycles return a *DAGError
+// with nothing run. Scheduling is deterministic in its observable
+// effects: among ready nodes the lowest declaration index is dispatched
+// first, and with one worker the whole graph runs inline on the caller's
+// goroutine in a fixed topological order (declaration order among ready
+// nodes), so "-j 1" pays no pool overhead at all.
+//
+// Panic semantics extend ForEach's: a panicking node marks its
+// transitive dependents as skipped (their Run is never called), every
+// node not downstream of a failure still runs to completion, and then
+// the panic with the lowest declaration index is re-raised as an
+// ItemPanic wrapping the original value — identically at any -j.
+func (p *Pool) RunDAG(nodes []Node) error {
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	index := make(map[string]int, n)
+	for i, nd := range nodes {
+		if nd.ID == "" {
+			return &DAGError{Reason: fmt.Sprintf("node %d has empty ID", i)}
+		}
+		if prev, dup := index[nd.ID]; dup {
+			return &DAGError{Reason: fmt.Sprintf("duplicate node ID %q (nodes %d and %d)", nd.ID, prev, i)}
+		}
+		index[nd.ID] = i
+	}
+	// Build the edge lists and in-degrees, validating dependency names.
+	waiting := make([]int, n)      // unmet dependency count per node
+	dependents := make([][]int, n) // forward edges
+	for i, nd := range nodes {
+		for _, dep := range nd.Deps {
+			j, ok := index[dep]
+			if !ok {
+				return &DAGError{Reason: fmt.Sprintf("node %q depends on unknown node %q", nd.ID, dep)}
+			}
+			if j == i {
+				return &DAGError{Reason: fmt.Sprintf("node %q depends on itself", nd.ID)}
+			}
+			waiting[i]++
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	if err := checkAcyclic(nodes, index, waiting, dependents); err != nil {
+		return err
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu      sync.Mutex
+		first   *ItemPanic
+		skipped = make([]bool, n)
+	)
+	// skip marks i and its transitive dependents as skipped; callers hold mu.
+	var skip func(i int)
+	skip = func(i int) {
+		if skipped[i] {
+			return
+		}
+		skipped[i] = true
+		for _, d := range dependents[i] {
+			skip(d)
+		}
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if first == nil || i < first.Index {
+					first = &ItemPanic{Index: i, Value: r}
+				}
+				skip(i)
+				skipped[i] = true
+				mu.Unlock()
+			}
+		}()
+		nodes[i].Run()
+	}
+
+	if workers == 1 {
+		// Inline deterministic topological order: a sorted ready list,
+		// always dispatching the lowest declaration index.
+		ready := make([]int, 0, n)
+		for i := range nodes {
+			if waiting[i] == 0 {
+				ready = append(ready, i)
+			}
+		}
+		sort.Ints(ready)
+		for len(ready) > 0 {
+			i := ready[0]
+			ready = ready[1:]
+			if !skipped[i] {
+				run(i)
+			}
+			for _, d := range dependents[i] {
+				waiting[d]--
+				if waiting[d] == 0 {
+					// Insert keeping the list sorted.
+					at := sort.SearchInts(ready, d)
+					ready = append(ready, 0)
+					copy(ready[at+1:], ready[at:])
+					ready[at] = d
+				}
+			}
+		}
+	} else {
+		var (
+			cond    = sync.NewCond(&mu)
+			ready   []int // kept sorted; lowest declaration index first
+			pending = n   // nodes not yet finished (run or skipped)
+		)
+		push := func(i int) {
+			at := sort.SearchInts(ready, i)
+			ready = append(ready, 0)
+			copy(ready[at+1:], ready[at:])
+			ready[at] = i
+		}
+		mu.Lock()
+		for i := range nodes {
+			if waiting[i] == 0 {
+				push(i)
+			}
+		}
+		mu.Unlock()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mu.Lock()
+				for {
+					for len(ready) == 0 && pending > 0 {
+						cond.Wait()
+					}
+					if pending == 0 {
+						mu.Unlock()
+						cond.Broadcast()
+						return
+					}
+					i := ready[0]
+					ready = ready[1:]
+					doRun := !skipped[i]
+					mu.Unlock()
+					if doRun {
+						run(i)
+					}
+					mu.Lock()
+					pending--
+					for _, d := range dependents[i] {
+						waiting[d]--
+						if waiting[d] == 0 {
+							push(d)
+						}
+					}
+					if len(ready) > 0 || pending == 0 {
+						cond.Broadcast()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if first != nil {
+		panic(*first)
+	}
+	return nil
+}
+
+// checkAcyclic runs Kahn's algorithm on copies of the degree arrays and
+// names one cycle member deterministically when the graph does not drain.
+func checkAcyclic(nodes []Node, index map[string]int, waiting []int, dependents [][]int) error {
+	deg := append([]int(nil), waiting...)
+	queue := make([]int, 0, len(nodes))
+	for i := range nodes {
+		if deg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		done++
+		for _, d := range dependents[i] {
+			deg[d]--
+			if deg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if done == len(nodes) {
+		return nil
+	}
+	for i, nd := range nodes {
+		if deg[i] > 0 {
+			return &DAGError{Reason: fmt.Sprintf("dependency cycle involving node %q", nd.ID)}
+		}
+	}
+	return &DAGError{Reason: "dependency cycle"}
+}

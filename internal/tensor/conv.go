@@ -40,13 +40,23 @@ func Im2ColInto(dst *Tensor, x *Tensor, kh, kw int, opts Conv2DOpts) *Tensor {
 	}
 	var cols *Tensor
 	if dst != nil && len(dst.data) == n*oh*ow*c*kh*kw {
-		cols = &Tensor{shape: []int{n * oh * ow, c * kh * kw}, data: dst.data}
+		if len(dst.shape) == 2 && dst.shape[0] == n*oh*ow {
+			// The repeated-geometry fast path: the scratch tensor already
+			// has the right shape, so reuse it outright instead of minting
+			// a fresh view per call.
+			cols = dst
+		} else {
+			cols = &Tensor{shape: []int{n * oh * ow, c * kh * kw}, data: dst.data}
+		}
 		if p > 0 {
 			// Only padded positions are skipped by the fill loop below;
 			// without padding every element is overwritten.
 			cols.Zero()
 		}
 	} else {
+		// Deliberately heap-allocated even when x is arena-backed: the
+		// unfold buffer persists in ConvScratch across steps, while arena
+		// memory is recycled at every Reset.
 		cols = New(n*oh*ow, c*kh*kw)
 	}
 	for img := 0; img < n; img++ {
@@ -82,7 +92,7 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw int, opts Conv2DOpts) *Tensor {
 	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != c*kh*kw {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent", cols.shape))
 	}
-	x := New(n, c, h, w)
+	x := newIn(cols.arena, []int{n, c, h, w})
 	for img := 0; img < n; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -143,9 +153,21 @@ func Conv2DScratch(x, kernel, bias *Tensor, opts Conv2DOpts, scratch *ConvScratc
 	} else {
 		cols = Im2Col(x, kh, kw, opts) // (N*OH*OW, C*KH*KW)
 	}
-	kmat := kernel.Reshape(f, c*kh*kw).Transpose2D() // (C*KH*KW, F)
-	prod := cols.MatMul(kmat)                        // (N*OH*OW, F)
-	out := New(n, f, oh, ow)
+	// The kernel transpose, product and output all go to the input's arena
+	// explicitly: the kernel is a heap parameter and cols may be a
+	// persistent heap scratch, either of which would otherwise break the
+	// arena inheritance chain at every convolution layer.
+	ck := c * kh * kw
+	kmat := newIn(x.arena, []int{ck, f}) // kernel.Reshape(f, ck) transposed
+	km, kd := kmat.data, kernel.data
+	for i := 0; i < f; i++ {
+		for j := 0; j < ck; j++ {
+			km[j*f+i] = kd[i*ck+j]
+		}
+	}
+	prod := newIn(x.arena, []int{n * oh * ow, f}) // (N*OH*OW, F)
+	matMulInto(prod, cols, kmat)
+	out := newIn(x.arena, []int{n, f, oh, ow})
 	for img := 0; img < n; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -174,7 +196,7 @@ func MaxPool2D(x *Tensor, k, stride int) (*Tensor, []int) {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh := convOutDim(h, k, stride, 0)
 	ow := convOutDim(w, k, stride, 0)
-	out := New(n, c, oh, ow)
+	out := newIn(x.arena, []int{n, c, oh, ow})
 	arg := make([]int, out.Size())
 	oi := 0
 	for img := 0; img < n; img++ {
@@ -211,7 +233,7 @@ func AvgPool2DGlobal(x *Tensor) *Tensor {
 		panic("tensor: AvgPool2DGlobal of non-NCHW tensor")
 	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(n, c)
+	out := newIn(x.arena, []int{n, c})
 	area := float64(h * w)
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {

@@ -86,6 +86,96 @@ func gemmKernel(dst, a, b []float64, i0, i1, k0, k1, j0, j1, k, n int) {
 	}
 }
 
+// MatMulTiledF32 is the mixed-precision fast path of MatMulTiled: operands
+// are converted to float32 once at the boundary, the tiled kernel multiplies
+// and accumulates in float32, and the product is widened back to float64 on
+// the way out. Halving the element size doubles the effective SIMD width and
+// halves memory traffic, at the cost of precision — the per-element error is
+// bounded by roughly K * 2^-24 * max|A| * max|B|, which the accuracy tests
+// pin. It models the paper's mixed-precision training arithmetic (§VI): the
+// low-precision units do the multiplies while anything that must stay
+// bit-stable (optimizer state, allreduce buffers, golden outputs) remains
+// float64, so none of the byte-pinned f64 paths route through here.
+func (t *Tensor) MatMulTiledF32(u *Tensor) *Tensor {
+	if t.Rank() != 2 || u.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTiledF32 of rank %d and %d", t.Rank(), u.Rank()))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTiledF32 inner dims %d vs %d", k, k2))
+	}
+	// One narrowing pass per operand; the kernel then streams pure float32.
+	a32 := narrowF32(t.data)
+	b32 := narrowF32(u.data)
+	dst32 := make([]float32, m*n)
+
+	nTilesI := (m + gemmTileI - 1) / gemmTileI
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nTilesI {
+		workers = nTilesI
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * nTilesI / workers
+		hi := (w + 1) * nTilesI / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(tileLo, tileHi int) {
+			defer wg.Done()
+			for ti := tileLo; ti < tileHi; ti++ {
+				i0 := ti * gemmTileI
+				i1 := min(i0+gemmTileI, m)
+				for k0 := 0; k0 < k; k0 += gemmTileK {
+					k1 := min(k0+gemmTileK, k)
+					for j0 := 0; j0 < n; j0 += gemmTileJ {
+						j1 := min(j0+gemmTileJ, n)
+						gemmKernelF32(dst32, a32, b32, i0, i1, k0, k1, j0, j1, k, n)
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	r := newIn(t.arena, []int{m, n})
+	for i, v := range dst32 {
+		r.data[i] = float64(v)
+	}
+	return r
+}
+
+// gemmKernelF32 is gemmKernel in float32: same ikj tile traversal, narrow
+// multiply-accumulate. The zero-skip of the f64 kernel is kept so sparse
+// operands (post-ReLU activations) behave the same on both paths.
+func gemmKernelF32(dst, a, b []float32, i0, i1, k0, k1, j0, j1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n+j0 : i*n+j1]
+		for kk := k0; kk < k1; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n+j0 : kk*n+j1]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// narrowF32 converts a float64 slice to float32 with round-to-nearest.
+func narrowF32(src []float64) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}
+
 // matmulNaive is the textbook ijk kernel, kept for the ablation benchmark.
 func matmulNaive(dst, a, b []float64, m, k, n int) {
 	for i := 0; i < m; i++ {

@@ -38,6 +38,70 @@ func TestTiledMatchesNaiveProperty(t *testing.T) {
 	}
 }
 
+// TestTiledF32AccuracyBound pins the mixed-precision contract: the float32
+// fast path tracks the float64 product within K * 2^-24 scaled by operand
+// magnitude (with slack for rounding the operands themselves).
+func TestTiledF32AccuracyBound(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, dims := range [][3]int{
+		{3, 4, 5}, {64, 64, 64}, {65, 63, 67}, {130, 270, 190},
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		want := a.MatMul(b)
+		got := a.MatMulTiledF32(b)
+		// Operand rounding contributes ~2 ulp per product on top of the
+		// K-term accumulation error; 8x slack keeps the test deterministic
+		// without masking a broken kernel (which would be off by ~1e7x).
+		tol := 8 * float64(k+2) * (1.0 / (1 << 24)) * a.MaxAbs() * b.MaxAbs()
+		if !got.Equal(want, tol) {
+			t.Fatalf("f32 path outside error bound %g at dims %v", tol, dims)
+		}
+		if tol > 0.5 {
+			t.Fatalf("tolerance %g too loose to be meaningful at dims %v", tol, dims)
+		}
+	}
+}
+
+// TestTiledF32ExactOnRepresentable: small integers are exact in float32, so
+// the narrow path must reproduce the float64 product bit for bit — catching
+// any stray scaling or transposition the tolerance test could absorb.
+func TestTiledF32ExactOnRepresentable(t *testing.T) {
+	rng := stats.NewRNG(3)
+	a := New(37, 53)
+	b := New(53, 41)
+	for _, x := range []*Tensor{a, b} {
+		for i := range x.Data() {
+			x.Data()[i] = float64(rng.Intn(17) - 8)
+		}
+	}
+	want := a.MatMul(b)
+	got := a.MatMulTiledF32(b)
+	if !got.Equal(want, 0) {
+		t.Fatal("f32 path not exact on f32-representable integer operands")
+	}
+}
+
+// TestTiledF32ArenaInheritance: the widened result follows the receiver's
+// arena like every other tensor-producing op.
+func TestTiledF32ArenaInheritance(t *testing.T) {
+	ar := NewArena()
+	a := FullIn(ar, 1, 8, 8)
+	if a.MatMulTiledF32(Full(1, 8, 8)).Arena() != ar {
+		t.Fatal("MatMulTiledF32 result did not inherit the arena")
+	}
+}
+
+func TestTiledF32DimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2, 3).MatMulTiledF32(New(2, 3))
+}
+
 func TestTiledDimMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -80,5 +144,19 @@ func BenchmarkGemmTiled256(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.MatMulTiled(bb)
+	}
+}
+
+// BenchmarkGemmTiledF32_256 completes the precision ablation: same tiling as
+// BenchmarkGemmTiled256, half-width arithmetic (conversion cost included —
+// that is the real price of the mixed-precision boundary).
+func BenchmarkGemmTiledF32_256(b *testing.B) {
+	rng := stats.NewRNG(1)
+	a := Randn(rng, 1, 256, 256)
+	bb := Randn(rng, 1, 256, 256)
+	b.SetBytes(int64(2 * 256 * 256 * 256 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatMulTiledF32(bb)
 	}
 }

@@ -22,10 +22,21 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
-	r := New(m, n)
+	r := newIn(t.arena, []int{m, n})
+	matMulInto(r, t, u)
+	return r
+}
+
+// matMulInto computes the product of t and u into the zero-filled r, using
+// the same sequential/parallel kernel split as MatMul. It lets callers that
+// manage their own result storage (convolution's arena-allocated product)
+// share one multiply implementation.
+func matMulInto(r, t, u *Tensor) {
+	m, k := t.shape[0], t.shape[1]
+	n := u.shape[1]
 	if m*n*k < matmulParallelThreshold {
 		matmulRows(r.data, t.data, u.data, 0, m, k, n)
-		return r
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
@@ -45,7 +56,6 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return r
 }
 
 // matmulRows computes rows [lo, hi) of the (m, n) product using an ikj loop
@@ -69,12 +79,16 @@ func matmulRows(dst, a, b []float64, lo, hi, k, n int) {
 }
 
 // Transpose2D returns the transpose of a rank-2 tensor.
-func (t *Tensor) Transpose2D() *Tensor {
+func (t *Tensor) Transpose2D() *Tensor { return t.Transpose2DIn(t.arena) }
+
+// Transpose2DIn is Transpose2D allocating the result from arena a, so a
+// backward pass can transpose a heap parameter into step-scoped storage.
+func (t *Tensor) Transpose2DIn(a *Arena) *Tensor {
 	if t.Rank() != 2 {
 		panic("tensor: Transpose2D of non-matrix")
 	}
 	m, n := t.shape[0], t.shape[1]
-	r := New(n, m)
+	r := newIn(a, []int{n, m})
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			r.data[j*m+i] = t.data[i*n+j]
@@ -90,7 +104,7 @@ func (t *Tensor) MatVec(v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v, %v", t.shape, v.shape))
 	}
 	m, n := t.shape[0], t.shape[1]
-	r := New(m)
+	r := newIn(t.arena, []int{m})
 	for i := 0; i < m; i++ {
 		row := t.data[i*n : (i+1)*n]
 		var s float64
@@ -121,7 +135,7 @@ func (t *Tensor) Outer(u *Tensor) *Tensor {
 		panic("tensor: Outer of non-vectors")
 	}
 	m, n := t.shape[0], u.shape[0]
-	r := New(m, n)
+	r := newIn(t.arena, []int{m, n})
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			r.data[i*n+j] = t.data[i] * u.data[j]

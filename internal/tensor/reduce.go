@@ -11,7 +11,7 @@ func (t *Tensor) SumAxis0() *Tensor {
 		panic("tensor: SumAxis0 of non-matrix")
 	}
 	m, n := t.shape[0], t.shape[1]
-	r := New(n)
+	r := newIn(t.arena, []int{n})
 	for i := 0; i < m; i++ {
 		row := t.data[i*n : (i+1)*n]
 		for j, x := range row {
@@ -27,7 +27,7 @@ func (t *Tensor) SumAxis1() *Tensor {
 		panic("tensor: SumAxis1 of non-matrix")
 	}
 	m, n := t.shape[0], t.shape[1]
-	r := New(m)
+	r := newIn(t.arena, []int{m})
 	for i := 0; i < m; i++ {
 		row := t.data[i*n : (i+1)*n]
 		var s float64
@@ -67,7 +67,7 @@ func (t *Tensor) SoftmaxRows() *Tensor {
 		panic("tensor: SoftmaxRows of non-matrix")
 	}
 	m, n := t.shape[0], t.shape[1]
-	r := New(m, n)
+	r := newIn(t.arena, []int{m, n})
 	for i := 0; i < m; i++ {
 		row := t.data[i*n : (i+1)*n]
 		out := r.data[i*n : (i+1)*n]
@@ -105,7 +105,7 @@ func (t *Tensor) Slice2DRows(lo, hi int) *Tensor {
 		panic(fmt.Sprintf("tensor: Slice2DRows [%d,%d) of %v", lo, hi, t.shape))
 	}
 	n := t.shape[1]
-	return &Tensor{shape: []int{hi - lo, n}, data: t.data[lo*n : hi*n]}
+	return viewIn(t.arena, []int{hi - lo, n}, t.data[lo*n:hi*n])
 }
 
 // Concat2DRows stacks rank-2 tensors with equal column counts vertically.
@@ -121,7 +121,7 @@ func Concat2DRows(ts ...*Tensor) *Tensor {
 		}
 		rows += t.shape[0]
 	}
-	r := New(rows, n)
+	r := newIn(ts[0].arena, []int{rows, n})
 	off := 0
 	for _, t := range ts {
 		copy(r.data[off:], t.data)

@@ -17,10 +17,13 @@ import (
 	"summitscale/internal/stats"
 )
 
-// Tensor is a dense row-major array of float64.
+// Tensor is a dense row-major array of float64. A tensor optionally
+// belongs to an Arena; operations allocate their results from the
+// receiver's arena so step-scoped temporaries inherit step-scoped storage.
 type Tensor struct {
 	shape []int
 	data  []float64
+	arena *Arena
 }
 
 // New returns a zero-filled tensor of the given shape.
@@ -66,6 +69,9 @@ func Uniform(rng *stats.RNG, lo, hi float64, shape ...int) *Tensor {
 	return t
 }
 
+// checkShape must not pass shape itself to fmt: like offset, doing so
+// makes every variadic shape argument escape, costing one heap allocation
+// per tensor-producing call even when the tensor itself is arena-backed.
 func checkShape(shape []int) int {
 	if len(shape) == 0 {
 		panic("tensor: empty shape")
@@ -73,7 +79,7 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape", d))
 		}
 		n *= d
 	}
@@ -101,23 +107,27 @@ func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
 // Set assigns the element at the given multi-index.
 func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
 
+// offset must not pass idx itself to fmt: doing so makes the index slice
+// escape, which puts one heap allocation on every variadic At/Set call in
+// the training hot loops. Only scalars and the (already heap) shape may
+// reach the panic messages.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
-		panic(fmt.Sprintf("tensor: index %v for rank-%d tensor", idx, len(t.shape)))
+		panic(fmt.Sprintf("tensor: rank-%d index for rank-%d tensor", len(idx), len(t.shape)))
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+			panic(fmt.Sprintf("tensor: index %d out of range for dimension %d of shape %v", x, i, t.shape))
 		}
 		off = off*t.shape[i] + x
 	}
 	return off
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (in t's arena, when it has one).
 func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
+	c := newIn(t.arena, t.shape)
 	copy(c.data, t.data)
 	return c
 }
@@ -125,11 +135,19 @@ func (t *Tensor) Clone() *Tensor {
 // Reshape returns a view with a new shape sharing t's data. The total
 // element count must be unchanged.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
+	return t.ReshapeIn(t.arena, shape...)
+}
+
+// ReshapeIn is Reshape placing the view's bookkeeping (struct and shape
+// copy) in arena a instead of t's own arena. Backward passes use it to view
+// heap-resident parameters without per-step heap allocation; the view dies
+// with the arena while the parameter data lives on.
+func (t *Tensor) ReshapeIn(a *Arena, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+		panic(fmt.Sprintf("tensor: cannot reshape %v to rank-%d shape of %d elements", t.shape, len(shape), n))
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	return viewIn(a, shape, t.data)
 }
 
 // SameShape reports whether t and u have identical shapes.
@@ -164,7 +182,7 @@ func (t *Tensor) Zero() { t.Fill(0) }
 // Add returns t + u elementwise.
 func (t *Tensor) Add(u *Tensor) *Tensor {
 	t.mustMatch(u, "Add")
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = t.data[i] + u.data[i]
 	}
@@ -174,7 +192,7 @@ func (t *Tensor) Add(u *Tensor) *Tensor {
 // Sub returns t - u elementwise.
 func (t *Tensor) Sub(u *Tensor) *Tensor {
 	t.mustMatch(u, "Sub")
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = t.data[i] - u.data[i]
 	}
@@ -184,7 +202,7 @@ func (t *Tensor) Sub(u *Tensor) *Tensor {
 // Mul returns t * u elementwise (Hadamard product).
 func (t *Tensor) Mul(u *Tensor) *Tensor {
 	t.mustMatch(u, "Mul")
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = t.data[i] * u.data[i]
 	}
@@ -194,7 +212,7 @@ func (t *Tensor) Mul(u *Tensor) *Tensor {
 // Div returns t / u elementwise.
 func (t *Tensor) Div(u *Tensor) *Tensor {
 	t.mustMatch(u, "Div")
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = t.data[i] / u.data[i]
 	}
@@ -223,7 +241,7 @@ func (t *Tensor) AddScaledInPlace(u *Tensor, s float64) *Tensor {
 
 // Scale returns t * s elementwise.
 func (t *Tensor) Scale(s float64) *Tensor {
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = t.data[i] * s
 	}
@@ -240,7 +258,7 @@ func (t *Tensor) ScaleInPlace(s float64) *Tensor {
 
 // AddScalar returns t + s elementwise.
 func (t *Tensor) AddScalar(s float64) *Tensor {
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = t.data[i] + s
 	}
@@ -249,7 +267,7 @@ func (t *Tensor) AddScalar(s float64) *Tensor {
 
 // Apply returns f applied elementwise.
 func (t *Tensor) Apply(f func(float64) float64) *Tensor {
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	for i := range t.data {
 		r.data[i] = f(t.data[i])
 	}
@@ -270,7 +288,7 @@ func (t *Tensor) AddRow(row *Tensor) *Tensor {
 	if t.Rank() != 2 || row.Rank() != 1 || row.shape[0] != t.shape[1] {
 		panic(fmt.Sprintf("tensor: AddRow shapes %v, %v", t.shape, row.shape))
 	}
-	r := New(t.shape...)
+	r := newIn(t.arena, t.shape)
 	n, c := t.shape[0], t.shape[1]
 	for i := 0; i < n; i++ {
 		base := i * c
