@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 build vet fmt test race bench bench-json bench-check trace chaos fuzz-smoke repro examples figures clean help
+.PHONY: all tier1 build vet fmt test race bench bench-json bench-check bench-floors trace chaos fuzz-smoke repro examples figures clean help
 
 all: build vet test
 
@@ -21,6 +21,8 @@ help:
 	@echo "             fault-trace generator"
 	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
 	@echo "             vs the committed BENCH_hotpath.json"
+	@echo "  bench-floors kernel floor rules only (Gemm 2x, MDForces 1.2x at"
+	@echo "             >=4 cores; TrainStep allocs <=45 always), no baseline"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
 	@echo "  examples   run every example once"
 	@echo "  figures    regenerate the paper figures as SVG"
@@ -69,6 +71,17 @@ bench-json:
 bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench -check BENCH_hotpath.json
+
+# Kernel floor rules without a baseline: ratios within one fresh run
+# (packed parallel GEMM >= 2x the serial row-stream, MD forces parallel
+# >= 1.2x serial — both only enforced when the run recorded >= 4 cores)
+# plus the deterministic TrainStepAlloc/scratch <= 45 allocs/op ceiling.
+# This is what CI's perf-smoke job runs: it works on any runner, even
+# one whose core count differs from the committed baseline's.
+bench-floors:
+	$(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc' -benchmem \
+		./internal/tensor/ ./internal/md/ ./internal/ddl/ \
+		| $(GO) run ./cmd/summit-bench -floors
 
 # The §V resilience campaign's simulated-clock trace, viewable in
 # chrome://tracing or Perfetto. Byte-deterministic across runs and -j.

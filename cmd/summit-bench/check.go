@@ -18,6 +18,98 @@ import (
 // checkTolerance is the fractional regression allowed before failing.
 const checkTolerance = 0.30
 
+// Parallel-kernel floor rules. Like minParallelSpeedup these are ratios
+// within ONE fresh run, so runner speed cancels out; unlike it they only
+// mean anything when there are cores to fan out over, so the speedup
+// floors are skipped below kernelFloorMinProcs. The allocation floor is
+// deterministic and applies at any core count.
+const (
+	// minGemmSpeedup floors GemmRowStream256 / GemmParallel256: the
+	// packed parallel GEMM must beat the serial row-stream kernel 2x.
+	minGemmSpeedup = 2.0
+	// minMDSpeedup floors MDForces/serial / MDForces/parallel: the
+	// persistent-pool force kernel must actually beat serial.
+	minMDSpeedup = 1.2
+	// kernelFloorMinProcs is the recorded GOMAXPROCS below which the
+	// speedup floors are skipped (reported, not enforced).
+	kernelFloorMinProcs = 4
+	// maxTrainStepAllocs caps TrainStepAlloc/scratch allocs/op: the
+	// arena + persistent-pool training step must stay allocation-flat.
+	maxTrainStepAllocs = 45
+)
+
+// checkKernelFloors enforces the parallel-kernel floors on a fresh
+// document. Absent benchmarks are fine (a partial sweep skips their
+// rules); a present pair is enforced.
+func checkKernelFloors(fresh *document) (lines []string, failed []string) {
+	find := func(name string) *result {
+		for i := range fresh.Benchmarks {
+			if fresh.Benchmarks[i].Name == name {
+				return &fresh.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+	if r := find("BenchmarkTrainStepAlloc/scratch"); r != nil {
+		status := "ok"
+		if r.AllocsPerOp > maxTrainStepAllocs {
+			status = "REGRESSION"
+			failed = append(failed, "TrainStepAlloc/scratch allocs")
+		}
+		lines = append(lines, fmt.Sprintf("  TrainStepAlloc/scratch allocs/op %30.0f (ceiling %d)  [%s]",
+			r.AllocsPerOp, maxTrainStepAllocs, status))
+	}
+	ratio := func(label, num, den string, floor float64) {
+		nr, dr := find(num), find(den)
+		if nr == nil && dr == nil {
+			return
+		}
+		if nr == nil || dr == nil || dr.NsPerOp == 0 {
+			lines = append(lines, fmt.Sprintf("  %s: pair incomplete", label))
+			failed = append(failed, label)
+			return
+		}
+		if fresh.Gomaxprocs < kernelFloorMinProcs {
+			lines = append(lines, fmt.Sprintf("  %s floor %.1fx skipped (gomaxprocs %d < %d)",
+				label, floor, fresh.Gomaxprocs, kernelFloorMinProcs))
+			return
+		}
+		got := nr.NsPerOp / dr.NsPerOp
+		status := "ok"
+		if got < floor {
+			status = "REGRESSION"
+			failed = append(failed, label)
+		}
+		lines = append(lines, fmt.Sprintf("  %s ratio %.2fx (floor %.1fx)  [%s]", label, got, floor, status))
+	}
+	ratio("GemmRowStream256/GemmParallel256",
+		"BenchmarkGemmRowStream256", "BenchmarkGemmParallel256", minGemmSpeedup)
+	ratio("MDForces serial/parallel",
+		"BenchmarkMDForces/serial", "BenchmarkMDForces/parallel", minMDSpeedup)
+	return lines, failed
+}
+
+// runFloors evaluates only the within-run kernel floor rules — no
+// baseline document needed, so it works on any runner regardless of
+// what core count the committed baseline was measured at (`make
+// bench-floors`, the CI perf-smoke job).
+func runFloors(fresh *document) {
+	lines, failed := checkKernelFloors(fresh)
+	fmt.Printf("kernel floor check (gomaxprocs %d):\n", fresh.Gomaxprocs)
+	if len(lines) == 0 {
+		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, TrainStepAlloc)")
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "summit-bench: %d kernel floor(s) breached: %v\n", len(failed), failed)
+		os.Exit(1)
+	}
+	fmt.Println("summit-bench: kernel floors hold")
+}
+
 // minParallelSpeedup is the floor on BenchmarkRunAllSequential /
 // BenchmarkRunAllParallel: the DAG engine's memoized parallel path must
 // beat the flat sequential baseline by at least this factor, or the
@@ -128,7 +220,21 @@ func runCheck(baselinePath string, fresh *document) {
 		fmt.Fprintf(os.Stderr, "summit-bench: parsing %s: %v\n", baselinePath, err)
 		os.Exit(1)
 	}
+	oldProcs := old.Gomaxprocs
+	if oldProcs == 0 {
+		oldProcs = 1 // documents predating the field were 1-core runs
+	}
+	if oldProcs != fresh.Gomaxprocs {
+		fmt.Fprintf(os.Stderr,
+			"summit-bench: refusing to compare: baseline %s was measured at gomaxprocs=%d, this run at %d — parallel-kernel timings from different core counts are not comparable; regenerate the baseline on a matching machine\n",
+			baselinePath, oldProcs, fresh.Gomaxprocs)
+		os.Exit(1)
+	}
 	lines, failed := compareDoc(&old, fresh)
+	if kl, kf := checkKernelFloors(fresh); len(kl) > 0 {
+		lines = append(lines, kl...)
+		failed = append(failed, kf...)
+	}
 	if line, ok := checkSpeedupRatio(fresh); line != "" {
 		lines = append(lines, line)
 		if !ok {

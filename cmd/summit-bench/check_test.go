@@ -107,10 +107,74 @@ ok  	summitscale/internal/core	2.0s
 		t.Fatalf("parsed %d benchmarks", len(d.Benchmarks))
 	}
 	r := d.Benchmarks[0]
-	if r.Name != "BenchmarkRunAll-8" || r.NsPerOp != 110000000 || r.AllocsPerOp != 9000 {
+	if r.Name != "BenchmarkRunAll" || r.NsPerOp != 110000000 || r.AllocsPerOp != 9000 {
 		t.Fatalf("parsed %+v", r)
 	}
 	if d.Goos != "linux" || d.CPU != "Test CPU" {
 		t.Fatalf("header lost: %+v", d)
+	}
+	if d.Gomaxprocs != 8 {
+		t.Fatalf("GOMAXPROCS suffix not lifted into header: %+v", d)
+	}
+}
+
+func TestParseGomaxprocsDefaultsToOne(t *testing.T) {
+	in := "BenchmarkMDForces/serial   	 100	 4000000 ns/op\n"
+	d, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Gomaxprocs != 1 {
+		t.Fatalf("suffix-free run recorded gomaxprocs %d, want 1", d.Gomaxprocs)
+	}
+	if d.Benchmarks[0].Name != "BenchmarkMDForces/serial" {
+		t.Fatalf("non-numeric name mangled: %q", d.Benchmarks[0].Name)
+	}
+}
+
+func TestKernelFloorsGatedOnProcs(t *testing.T) {
+	// At 1 recorded core the speedup floors are reported but not enforced.
+	fresh := doc(result{Name: "BenchmarkGemmRowStream256", NsPerOp: 1000},
+		result{Name: "BenchmarkGemmParallel256", NsPerOp: 950})
+	fresh.Gomaxprocs = 1
+	if _, failed := checkKernelFloors(fresh); len(failed) != 0 {
+		t.Fatalf("speedup floor enforced at 1 core: %v", failed)
+	}
+	// At 8 cores a 1.05x packed "speedup" is a failure against the 2x floor.
+	fresh.Gomaxprocs = 8
+	if _, failed := checkKernelFloors(fresh); len(failed) != 1 {
+		t.Fatalf("below-floor Gemm ratio not flagged at 8 cores: %v", failed)
+	}
+	// 2.5x clears it.
+	fresh = doc(result{Name: "BenchmarkGemmRowStream256", NsPerOp: 2500},
+		result{Name: "BenchmarkGemmParallel256", NsPerOp: 1000})
+	fresh.Gomaxprocs = 8
+	if _, failed := checkKernelFloors(fresh); len(failed) != 0 {
+		t.Fatalf("2.5x Gemm ratio failed the 2x floor: %v", failed)
+	}
+}
+
+func TestKernelFloorMDAndAllocs(t *testing.T) {
+	fresh := doc(result{Name: "BenchmarkMDForces/serial", NsPerOp: 1000},
+		result{Name: "BenchmarkMDForces/parallel", NsPerOp: 900},
+		result{Name: "BenchmarkTrainStepAlloc/scratch", NsPerOp: 1, AllocsPerOp: 46})
+	fresh.Gomaxprocs = 8
+	_, failed := checkKernelFloors(fresh)
+	// 1.11x misses the 1.2x MD floor AND 46 allocs breaches the 45 ceiling.
+	if len(failed) != 2 {
+		t.Fatalf("want MD-floor + alloc-ceiling failures, got %v", failed)
+	}
+	// The alloc ceiling applies even at 1 core.
+	fresh.Gomaxprocs = 1
+	if _, failed := checkKernelFloors(fresh); len(failed) != 1 {
+		t.Fatalf("alloc ceiling not enforced at 1 core: %v", failed)
+	}
+}
+
+func TestKernelFloorIncompletePairFails(t *testing.T) {
+	fresh := doc(result{Name: "BenchmarkGemmParallel256", NsPerOp: 1000})
+	fresh.Gomaxprocs = 8
+	if _, failed := checkKernelFloors(fresh); len(failed) != 1 {
+		t.Fatalf("half a floor pair passed: %v", failed)
 	}
 }

@@ -5,7 +5,9 @@
 //
 // With -check it instead compares the fresh stream against a committed
 // baseline JSON and exits nonzero when a hot path regresses beyond ±30%
-// in ns/op or allocs/op (`make bench-check`).
+// in ns/op or allocs/op (`make bench-check`). With -floors it evaluates
+// only the within-run kernel floor rules — no baseline, so it runs on
+// any machine (`make bench-floors`, CI's perf-smoke job).
 //
 // Usage:
 //
@@ -34,16 +36,21 @@ type result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 }
 
-// document is the emitted JSON root.
+// document is the emitted JSON root. Gomaxprocs records the worker
+// budget the run was measured at: parallel-kernel numbers from different
+// core counts are not comparable, so -check refuses mismatched documents
+// outright instead of reporting bogus regressions.
 type document struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
 }
 
 func main() {
 	check := flag.String("check", "", "baseline JSON to diff the fresh results against; exit 1 on regression")
+	floors := flag.Bool("floors", false, "evaluate only the within-run kernel floor rules (no baseline); exit 1 on breach")
 	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -53,6 +60,10 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "summit-bench: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *floors {
+		runFloors(doc)
+		return
 	}
 	if *check != "" {
 		runCheck(*check, doc)
@@ -99,7 +110,21 @@ func parse(sc *bufio.Scanner) (*document, error) {
 		if err != nil {
 			continue // a log line that happens to start with "Benchmark"
 		}
-		r := result{Name: fields[0], Package: pkg, Iterations: iters}
+		// `go test` suffixes every benchmark name with "-GOMAXPROCS" when
+		// it differs from 1. Strip the suffix into the document header so
+		// names compare across machines and the core count is recorded
+		// exactly once. (No current sub-benchmark name ends in "-<int>",
+		// so the heuristic cannot misfire on this suite.)
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+				name = name[:i]
+				if n > doc.Gomaxprocs {
+					doc.Gomaxprocs = n
+				}
+			}
+		}
+		r := result{Name: name, Package: pkg, Iterations: iters}
 		// The remainder is value/unit pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -118,6 +143,9 @@ func parse(sc *bufio.Scanner) (*document, error) {
 			}
 		}
 		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if doc.Gomaxprocs == 0 {
+		doc.Gomaxprocs = 1 // go test omits the suffix at GOMAXPROCS=1
 	}
 	return doc, sc.Err()
 }

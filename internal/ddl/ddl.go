@@ -18,8 +18,19 @@ import (
 	"summitscale/internal/nn"
 	"summitscale/internal/obs"
 	"summitscale/internal/optim"
+	"summitscale/internal/parallel"
 	"summitscale/internal/tensor"
 	"summitscale/internal/units"
+)
+
+// gradShardMin is the flat-gradient length above which the per-step
+// scale and FP16-compression passes shard across the persistent worker
+// pool. Both passes are elementwise, so sharding cannot change bits;
+// below the threshold they run inline with no dispatch and no closure
+// allocation (the bench models' gradients are a few thousand elements).
+const (
+	gradShardMin   = 1 << 15
+	gradShardGrain = 1 << 13
 )
 
 // FlattenGrads copies all parameter gradients into one contiguous vector
@@ -254,12 +265,20 @@ func (r *Rank) Step(lossFn func(micro int) *autograd.Value) float64 {
 	}
 	// Average over world size and micro-batches.
 	scale := 1 / float64(r.Comm.Size()*r.Config.AccumSteps)
-	for i := range flat {
-		flat[i] *= scale
+	if len(flat) >= gradShardMin {
+		parallel.Shared().RunRange(len(flat), gradShardGrain, func(lo, hi int) {
+			scaleRange(flat, scale, lo, hi)
+		})
+	} else {
+		scaleRange(flat, scale, 0, len(flat))
 	}
 	if r.Config.Compression == FP16 {
-		for i := range flat {
-			flat[i] = float64(toFP16(float32(flat[i])))
+		if len(flat) >= gradShardMin {
+			parallel.Shared().RunRange(len(flat), gradShardGrain, func(lo, hi int) {
+				fp16Range(flat, lo, hi)
+			})
+		} else {
+			fp16Range(flat, 0, len(flat))
 		}
 	}
 	allreduce := r.Config.Allreduce
@@ -327,6 +346,20 @@ func ReplicasConsistent(c *mp.Comm, model nn.Module, tol float64) bool {
 		}
 	}
 	return true
+}
+
+// scaleRange multiplies elements [lo, hi) of flat by scale.
+func scaleRange(flat []float64, scale float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		flat[i] *= scale
+	}
+}
+
+// fp16Range rounds elements [lo, hi) of flat through IEEE half precision.
+func fp16Range(flat []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		flat[i] = float64(toFP16(float32(flat[i])))
+	}
 }
 
 // toFP16 rounds a float32 to the nearest IEEE 754 binary16 value and

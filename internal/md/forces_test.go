@@ -71,7 +71,7 @@ func TestForcesDeterministicAcrossWorkers(t *testing.T) {
 	ref := build()
 	ref.Workers = 1
 	eRef := ref.ComputeForces()
-	for _, workers := range []int{2, 3, 8} {
+	for _, workers := range []int{2, 3, 4, 8} {
 		s := build()
 		s.Workers = workers
 		if e := s.ComputeForces(); e != eRef {

@@ -142,6 +142,12 @@ type System struct {
 	cells       [][]int   // cell-list buckets, truncated and refilled per call
 	shardForce  [][]Vec3  // per-slab force accumulators, full particle length
 	shardEnergy []float64 // per-slab potential-energy partial sums
+
+	// lj caches the result of asserting Pot to *LennardJones once per
+	// ComputeForces call, replacing the per-pair interface dispatch with a
+	// direct (inlinable) call on the dominant potential. Same method, same
+	// float ops — bit-identical either way.
+	lj *LennardJones
 }
 
 // NewLattice places n^3 particles on a cubic lattice in a box sized for
@@ -238,6 +244,11 @@ var halfNeighborOffsets = [14][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
 	{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {1, -1, 0}, {1, 0, -1}, {0, 1, -1},
 	{1, 1, -1}, {1, -1, 1}, {-1, 1, 1}}
 
+// mergeGrain is the particle chunk size for the shard-merge pass. The
+// merge sums shards in fixed slab order per particle, so the chunking —
+// unlike the old per-pool-width split — cannot affect the result.
+const mergeGrain = 512
+
 // ComputeForces fills the force array and returns the potential energy.
 //
 // With cell lists (box/cutoff >= 3) the work is sharded across x-slabs of
@@ -247,6 +258,7 @@ var halfNeighborOffsets = [14][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
 // identical for every Workers setting; Workers only bounds how many
 // goroutines execute the slabs.
 func (s *System) ComputeForces() float64 {
+	s.lj, _ = s.Pot.(*LennardJones)
 	cells, m := s.cellList()
 	if m == 1 {
 		for i := range s.force {
@@ -274,42 +286,45 @@ func (s *System) ComputeForces() float64 {
 		z = (z%m + m) % m
 		return (x*m+y)*m + z
 	}
-	pool := parallel.NewPool(s.Workers)
-	pool.ForEach(m, func(cx int) {
-		buf := s.shardForce[cx]
-		for i := range buf {
-			buf[i] = Vec3{}
-		}
-		var energy float64
-		for cy := 0; cy < m; cy++ {
-			for cz := 0; cz < m; cz++ {
-				c1 := cells[cellIdx(cx, cy, cz)]
-				for oi, off := range halfNeighborOffsets {
-					c2 := cells[cellIdx(cx+off[0], cy+off[1], cz+off[2])]
-					if oi == 0 {
-						for a := 0; a < len(c1); a++ {
-							for b := a + 1; b < len(c1); b++ {
-								energy += s.pairInteractInto(buf, c1[a], c1[b])
+	// Slabs dispatch through the persistent shared pool — no goroutine
+	// spawn per call, which is what used to eat the parallel win — with
+	// the fan-out capped at Workers (0 = pool width).
+	shared := parallel.Shared()
+	shared.RunRangeMax(s.Workers, m, 1, func(lo, hi int) {
+		for cx := lo; cx < hi; cx++ {
+			buf := s.shardForce[cx]
+			for i := range buf {
+				buf[i] = Vec3{}
+			}
+			var energy float64
+			for cy := 0; cy < m; cy++ {
+				for cz := 0; cz < m; cz++ {
+					c1 := cells[cellIdx(cx, cy, cz)]
+					for oi, off := range halfNeighborOffsets {
+						c2 := cells[cellIdx(cx+off[0], cy+off[1], cz+off[2])]
+						if oi == 0 {
+							for a := 0; a < len(c1); a++ {
+								for b := a + 1; b < len(c1); b++ {
+									energy += s.pairInteractInto(buf, c1[a], c1[b])
+								}
 							}
+							continue
 						}
-						continue
-					}
-					for _, i := range c1 {
-						for _, j := range c2 {
-							energy += s.pairInteractInto(buf, i, j)
+						for _, i := range c1 {
+							for _, j := range c2 {
+								energy += s.pairInteractInto(buf, i, j)
+							}
 						}
 					}
 				}
 			}
+			s.shardEnergy[cx] = energy
 		}
-		s.shardEnergy[cx] = energy
 	})
 	// Merge per-slab contributions. Each particle sums its shards in
 	// ascending slab order, so the merge is deterministic however the
 	// particle range is chunked across workers.
-	chunks := pool.Workers()
-	pool.ForEach(chunks, func(c int) {
-		lo, hi := c*n/chunks, (c+1)*n/chunks
+	shared.RunRangeMax(s.Workers, n, mergeGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var f Vec3
 			for sh := 0; sh < m; sh++ {
@@ -337,7 +352,12 @@ func (s *System) pairInteractInto(force []Vec3, i, j int) float64 {
 	if r2 == 0 {
 		panic(fmt.Sprintf("md: particles %d and %d coincide", i, j))
 	}
-	e, foR := s.Pot.EnergyForce(r2)
+	var e, foR float64
+	if lj := s.lj; lj != nil {
+		e, foR = lj.EnergyForce(r2)
+	} else {
+		e, foR = s.Pot.EnergyForce(r2)
+	}
 	if foR != 0 {
 		f := dr.Scale(foR)
 		force[i] = force[i].Add(f)

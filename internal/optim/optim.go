@@ -9,7 +9,23 @@ import (
 	"math"
 
 	"summitscale/internal/nn"
+	"summitscale/internal/parallel"
 	"summitscale/internal/tensor"
+)
+
+// Fused update loops shard across the persistent worker pool for large
+// parameters. Every sharded loop is strictly elementwise — each index is
+// read and written by exactly one shard, and the norm reductions (whose
+// float association would change under sharding) stay serial — so the
+// update is bit-identical at any worker count.
+const (
+	// optimShardMin is the element count above which an update loop fans
+	// out. Below it (every layer of the bench models) the loop runs
+	// inline with no pool dispatch and no closure allocation, keeping the
+	// training-step alloc floor intact.
+	optimShardMin = 1 << 15
+	// optimShardGrain is the element chunk size for sharded updates.
+	optimShardGrain = 1 << 13
 )
 
 // Optimizer updates parameters from their accumulated gradients.
@@ -54,14 +70,12 @@ func (o *SGD) Step(params []nn.Param) {
 		w := p.Value.Data
 		wd, gd := w.Data(), p.Value.Grad.Data()
 		if o.Momentum == 0 {
-			if o.WeightDecay == 0 {
-				for i := range wd {
-					wd[i] -= o.Rate * gd[i]
-				}
+			if len(wd) >= optimShardMin {
+				parallel.Shared().RunRange(len(wd), optimShardGrain, func(lo, hi int) {
+					sgdPlain(wd, gd, o.Rate, o.WeightDecay, lo, hi)
+				})
 			} else {
-				for i := range wd {
-					wd[i] -= o.Rate * (gd[i] + o.WeightDecay*wd[i])
-				}
+				sgdPlain(wd, gd, o.Rate, o.WeightDecay, 0, len(wd))
 			}
 			continue
 		}
@@ -71,10 +85,34 @@ func (o *SGD) Step(params []nn.Param) {
 			o.velocity[w] = v
 		}
 		vd := v.Data()
-		for i := range wd {
-			vd[i] = o.Momentum*vd[i] + (gd[i] + o.WeightDecay*wd[i])
-			wd[i] -= o.Rate * vd[i]
+		if len(wd) >= optimShardMin {
+			parallel.Shared().RunRange(len(wd), optimShardGrain, func(lo, hi int) {
+				sgdMomentum(wd, gd, vd, o.Rate, o.Momentum, o.WeightDecay, lo, hi)
+			})
+		} else {
+			sgdMomentum(wd, gd, vd, o.Rate, o.Momentum, o.WeightDecay, 0, len(wd))
 		}
+	}
+}
+
+// sgdPlain applies the momentum-free SGD update to elements [lo, hi).
+func sgdPlain(wd, gd []float64, rate, decay float64, lo, hi int) {
+	if decay == 0 {
+		for i := lo; i < hi; i++ {
+			wd[i] -= rate * gd[i]
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		wd[i] -= rate * (gd[i] + decay*wd[i])
+	}
+}
+
+// sgdMomentum applies the fused decay+momentum update to elements [lo, hi).
+func sgdMomentum(wd, gd, vd []float64, rate, momentum, decay float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		vd[i] = momentum*vd[i] + (gd[i] + decay*wd[i])
+		wd[i] -= rate * vd[i]
 	}
 }
 
@@ -134,18 +172,29 @@ func (o *Adam) Step(params []nn.Param) {
 		}
 		wd, gd := w.Data(), p.Value.Grad.Data()
 		md, vd := st.m.Data(), st.v.Data()
-		for i := range wd {
-			g := gd[i]
-			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
-			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
-			mhat := md[i] / bc1
-			vhat := vd[i] / bc2
-			upd := mhat / (math.Sqrt(vhat) + o.Eps)
-			if o.DecoupledWD != 0 {
-				upd += o.DecoupledWD * wd[i]
-			}
-			wd[i] -= o.Rate * upd
+		if len(wd) >= optimShardMin {
+			parallel.Shared().RunRange(len(wd), optimShardGrain, func(lo, hi int) {
+				adamRange(o, wd, gd, md, vd, bc1, bc2, lo, hi)
+			})
+		} else {
+			adamRange(o, wd, gd, md, vd, bc1, bc2, 0, len(wd))
 		}
+	}
+}
+
+// adamRange applies the fused Adam/AdamW update to elements [lo, hi).
+func adamRange(o *Adam, wd, gd, md, vd []float64, bc1, bc2 float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := gd[i]
+		md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+		vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+		mhat := md[i] / bc1
+		vhat := vd[i] / bc2
+		upd := mhat / (math.Sqrt(vhat) + o.Eps)
+		if o.DecoupledWD != 0 {
+			upd += o.DecoupledWD * wd[i]
+		}
+		wd[i] -= o.Rate * upd
 	}
 }
 
@@ -193,11 +242,23 @@ func (o *LARS) Step(params []nn.Param) {
 			o.velocity[w] = v
 		}
 		vd, wd, gd := v.Data(), w.Data(), g.Data()
-		for i := range wd {
-			upd := gd[i] + o.WeightDecay*wd[i]
-			vd[i] = o.Momentum*vd[i] + localLR*o.Rate*upd
-			wd[i] -= vd[i]
+		lrEff := localLR * o.Rate
+		if len(wd) >= optimShardMin {
+			parallel.Shared().RunRange(len(wd), optimShardGrain, func(lo, hi int) {
+				larsRange(wd, gd, vd, lrEff, o.Momentum, o.WeightDecay, lo, hi)
+			})
+		} else {
+			larsRange(wd, gd, vd, lrEff, o.Momentum, o.WeightDecay, 0, len(wd))
 		}
+	}
+}
+
+// larsRange applies the trust-scaled momentum update to elements [lo, hi).
+func larsRange(wd, gd, vd []float64, lrEff, momentum, decay float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		upd := gd[i] + decay*wd[i]
+		vd[i] = momentum*vd[i] + lrEff*upd
+		wd[i] -= vd[i]
 	}
 }
 
@@ -247,20 +308,45 @@ func (o *LAMB) Step(params []nn.Param) {
 		md, vd := st.m.Data(), st.v.Data()
 		update := st.u
 		ud := update.Data()
-		for i := range wd {
-			g := gd[i]
-			md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
-			vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
-			ud[i] = md[i]/bc1/(math.Sqrt(vd[i]/bc2)+o.Eps) + o.WeightDecay*wd[i]
+		if len(wd) >= optimShardMin {
+			parallel.Shared().RunRange(len(wd), optimShardGrain, func(lo, hi int) {
+				lambMoments(o, wd, gd, md, vd, ud, bc1, bc2, lo, hi)
+			})
+		} else {
+			lambMoments(o, wd, gd, md, vd, ud, bc1, bc2, 0, len(wd))
 		}
+		// The trust-ratio norms are reductions whose float association
+		// must not depend on the worker count: they stay serial.
 		wNorm, uNorm := w.Norm(), update.Norm()
 		ratio := 1.0
 		if wNorm > 0 && uNorm > 0 {
 			ratio = wNorm / uNorm
 		}
-		for i := range wd {
-			wd[i] -= o.Rate * ratio * ud[i]
+		if len(wd) >= optimShardMin {
+			parallel.Shared().RunRange(len(wd), optimShardGrain, func(lo, hi int) {
+				lambApply(wd, ud, o.Rate, ratio, lo, hi)
+			})
+		} else {
+			lambApply(wd, ud, o.Rate, ratio, 0, len(wd))
 		}
+	}
+}
+
+// lambMoments advances the Adam moments and writes the raw LAMB update
+// for elements [lo, hi).
+func lambMoments(o *LAMB, wd, gd, md, vd, ud []float64, bc1, bc2 float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := gd[i]
+		md[i] = o.Beta1*md[i] + (1-o.Beta1)*g
+		vd[i] = o.Beta2*vd[i] + (1-o.Beta2)*g*g
+		ud[i] = md[i]/bc1/(math.Sqrt(vd[i]/bc2)+o.Eps) + o.WeightDecay*wd[i]
+	}
+}
+
+// lambApply applies the trust-scaled update to elements [lo, hi).
+func lambApply(wd, ud []float64, rate, ratio float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		wd[i] -= rate * ratio * ud[i]
 	}
 }
 

@@ -176,13 +176,25 @@ func (p *Pool) RunDAG(nodes []Node) error {
 					}
 					mu.Lock()
 					pending--
+					pushed := 0
 					for _, d := range dependents[i] {
 						waiting[d]--
 						if waiting[d] == 0 {
 							push(d)
+							pushed++
 						}
 					}
-					if len(ready) > 0 || pending == 0 {
+					// Wake only as many workers as there is new work for:
+					// a single unblocked node needs one waiter, not the
+					// whole herd re-contending on mu. Termination still
+					// broadcasts so every worker observes pending == 0.
+					// Workers always re-check ready before sleeping, so a
+					// Signal that finds no waiter is never lost.
+					if pending == 0 {
+						cond.Broadcast()
+					} else if pushed == 1 {
+						cond.Signal()
+					} else if pushed > 1 {
 						cond.Broadcast()
 					}
 				}

@@ -1,6 +1,23 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"summitscale/internal/parallel"
+)
+
+// convParallelMinWork is the element count (unfold-matrix cells for
+// Im2Col, folded contributions for Col2Im) above which the conv lowering
+// fans out across the persistent worker pool. Below it the loops run
+// inline with no dispatch — and, deliberately, no closure allocation, so
+// the small convolutions of the training-step alloc benchmark stay at
+// their committed floor.
+const convParallelMinWork = 1 << 16
+
+// convRowGrain is the (image, output-row) chunk size for the parallel
+// Im2Col fill; the fill writes disjoint rows, so output does not depend
+// on it.
+const convRowGrain = 4
 
 // Conv2DOpts describes a 2-D convolution. Tensors are NCHW.
 type Conv2DOpts struct {
@@ -59,27 +76,40 @@ func Im2ColInto(dst *Tensor, x *Tensor, kh, kw int, opts Conv2DOpts) *Tensor {
 		// memory is recycled at every Reset.
 		cols = New(n*oh*ow, c*kh*kw)
 	}
-	for img := 0; img < n; img++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				row := cols.data[((img*oh+oy)*ow+ox)*c*kh*kw:]
-				col := 0
-				for ch := 0; ch < c; ch++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*s - p + ky
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*s - p + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								row[col] = x.data[((img*c+ch)*h+iy)*w+ix]
-							}
-							col++
+	// Each (image, output-row) pair writes a disjoint band of cols, so the
+	// fill shards freely: bit-identical at any worker count.
+	if n*oh*ow*c*kh*kw >= convParallelMinWork {
+		parallel.Shared().RunRange(n*oh, convRowGrain, func(lo, hi int) {
+			im2colRows(cols.data, x.data, lo, hi, c, h, w, oh, ow, kh, kw, s, p)
+		})
+	} else {
+		im2colRows(cols.data, x.data, 0, n*oh, c, h, w, oh, ow, kh, kw, s, p)
+	}
+	return cols
+}
+
+// im2colRows fills the unfold rows for flattened (image, output-row)
+// indices [lo, hi).
+func im2colRows(cols, x []float64, lo, hi, c, h, w, oh, ow, kh, kw, s, p int) {
+	for r := lo; r < hi; r++ {
+		img, oy := r/oh, r%oh
+		for ox := 0; ox < ow; ox++ {
+			row := cols[((img*oh+oy)*ow+ox)*c*kh*kw:]
+			col := 0
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*s - p + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*s - p + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							row[col] = x[((img*c+ch)*h+iy)*w+ix]
 						}
+						col++
 					}
 				}
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im folds the Im2Col matrix back into an (N, C, H, W) tensor,
@@ -93,10 +123,27 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw int, opts Conv2DOpts) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v inconsistent", cols.shape))
 	}
 	x := newIn(cols.arena, []int{n, c, h, w})
-	for img := 0; img < n; img++ {
+	// Contributions overlap within an image but never across images, so
+	// the fold shards by image; per-image accumulation order is the loop
+	// order either way, keeping the output bit-identical at any worker
+	// count.
+	if n > 1 && n*oh*ow*c*kh*kw >= convParallelMinWork {
+		parallel.Shared().RunRange(n, 1, func(lo, hi int) {
+			col2imImages(x.data, cols.data, lo, hi, c, h, w, oh, ow, kh, kw, s, p)
+		})
+	} else {
+		col2imImages(x.data, cols.data, 0, n, c, h, w, oh, ow, kh, kw, s, p)
+	}
+	return x
+}
+
+// col2imImages folds the unfold rows of images [lo, hi) back into x,
+// accumulating overlapping contributions.
+func col2imImages(x, cols []float64, lo, hi, c, h, w, oh, ow, kh, kw, s, p int) {
+	for img := lo; img < hi; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
-				row := cols.data[((img*oh+oy)*ow+ox)*c*kh*kw:]
+				row := cols[((img*oh+oy)*ow+ox)*c*kh*kw:]
 				col := 0
 				for ch := 0; ch < c; ch++ {
 					for ky := 0; ky < kh; ky++ {
@@ -104,7 +151,7 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw int, opts Conv2DOpts) *Tensor {
 						for kx := 0; kx < kw; kx++ {
 							ix := ox*s - p + kx
 							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								x.data[((img*c+ch)*h+iy)*w+ix] += row[col]
+								x[((img*c+ch)*h+iy)*w+ix] += row[col]
 							}
 							col++
 						}
@@ -113,7 +160,6 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw int, opts Conv2DOpts) *Tensor {
 			}
 		}
 	}
-	return x
 }
 
 // ConvScratch holds a convolution's reusable buffers. The zero value is

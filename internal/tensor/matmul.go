@@ -2,13 +2,31 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"summitscale/internal/parallel"
 )
 
-// matmulParallelThreshold is the m*n*k product above which MatMul fans out
-// across goroutines. Below it the sequential kernel is faster.
-const matmulParallelThreshold = 64 * 64 * 64
+// MatMul's size-based dispatch table. The three kernels are bit-identical
+// (same ascending-k accumulation per output element, same zero-skip), so
+// the thresholds are pure performance tuning: sequential row-streaming
+// until the fan-out pays for its dispatch, pool-parallel row-streaming
+// while B still fits comfortably in cache, and the packed panel kernel
+// (gemm_packed.go) once B is large enough that repacking it into
+// contiguous micro-panels beats striding across its rows.
+const (
+	// matmulParallelThreshold is the m*n*k product above which MatMul
+	// fans out across the persistent worker pool. Below it the
+	// sequential kernel is faster.
+	matmulParallelThreshold = 64 * 64 * 64
+	// matmulPackedThreshold is the m*n*k product above which MatMul
+	// packs B. Between the two thresholds the unpacked row-stream kernel
+	// wins: the packing pass is pure overhead while B is cache-resident.
+	matmulPackedThreshold = 128 * 128 * 128
+	// matmulRowGrain is the row-chunk size for the pool-parallel
+	// row-stream path; results do not depend on it (rows are
+	// independent).
+	matmulRowGrain = 8
+)
 
 // MatMul returns the matrix product of the (M, K) tensor t and the (K, N)
 // tensor u. The kernel is cache-blocked over k and parallelized over row
@@ -27,35 +45,31 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 	return r
 }
 
-// matMulInto computes the product of t and u into the zero-filled r, using
-// the same sequential/parallel kernel split as MatMul. It lets callers that
-// manage their own result storage (convolution's arena-allocated product)
-// share one multiply implementation.
+// matMulInto computes the product of t and u into the zero-filled r,
+// dispatching through the size table above. It lets callers that manage
+// their own result storage (convolution's arena-allocated product) share
+// one multiply implementation; every path produces bit-identical output.
 func matMulInto(r, t, u *Tensor) {
 	m, k := t.shape[0], t.shape[1]
 	n := u.shape[1]
-	if m*n*k < matmulParallelThreshold {
+	work := m * n * k
+	switch {
+	case work < matmulParallelThreshold:
 		matmulRows(r.data, t.data, u.data, 0, m, k, n)
-		return
+	case work < matmulPackedThreshold:
+		matMulRowsParallel(r.data, t.data, u.data, m, k, n)
+	default:
+		matMulPackedInto(r.data, t.data, u.data, m, k, n)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * m / workers
-		hi := (w + 1) * m / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(r.data, t.data, u.data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+}
+
+// matMulRowsParallel fans the row-stream kernel out over the persistent
+// worker pool in independent row chunks — no per-call goroutine spawn,
+// bit-identical to the sequential kernel at any pool width.
+func matMulRowsParallel(dst, a, b []float64, m, k, n int) {
+	parallel.Shared().RunRange(m, matmulRowGrain, func(lo, hi int) {
+		matmulRows(dst, a, b, lo, hi, k, n)
+	})
 }
 
 // matmulRows computes rows [lo, hi) of the (m, n) product using an ikj loop
