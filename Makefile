@@ -13,16 +13,17 @@ help:
 	@echo "  tier1      build + vet + gofmt check + test + race (the CI gate)"
 	@echo "  bench      every benchmark with -benchmem"
 	@echo "  bench-json hot-path benchmarks (RunAll, DAGSchedule, MDForces,"
-	@echo "             TrainStepAlloc, Gemm, ObsHotPath, ChaosHotPath)"
-	@echo "             -> BENCH_hotpath.json"
+	@echo "             TrainStepAlloc, Gemm, ObsHotPath, ChaosHotPath,"
+	@echo "             ServeHotPath, ServeRun) -> BENCH_hotpath.json"
 	@echo "  trace      RS2 campaign trace -> out.json (Chrome trace-event)"
 	@echo "  chaos      every builtin adversarial scenario + invariant suite"
-	@echo "  fuzz-smoke short fuzz pass over the scenario parser and the"
-	@echo "             fault-trace generator"
+	@echo "  fuzz-smoke short fuzz pass over the scenario parser, the"
+	@echo "             fault-trace generator, and the serving admission queue"
 	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
 	@echo "             vs the committed BENCH_hotpath.json"
-	@echo "  bench-floors kernel floor rules only (Gemm 2x, MDForces 1.2x at"
-	@echo "             >=4 cores; TrainStep allocs <=45 always), no baseline"
+	@echo "  bench-floors kernel floor rules only (Gemm 2x, MDForces 1.2x,"
+	@echo "             ServeHotPath batching 2x at >=4 cores; TrainStep"
+	@echo "             allocs <=45 always), no baseline"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
 	@echo "  examples   run every example once"
 	@echo "  figures    regenerate the paper figures as SVG"
@@ -55,9 +56,11 @@ bench:
 # Hot-path numbers as JSON: the flat-vs-DAG experiment engine (plus the
 # DAGSchedule cold/warm ablation), the sharded MD force kernel, the
 # training-step allocation pair, the GEMM kernel ablation, the obs
-# instrumentation overhead, and one full chaos scenario pass (compile the
-# perfect-storm spec + drive every subsystem probe).
-BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath
+# instrumentation overhead, one full chaos scenario pass (compile the
+# perfect-storm spec + drive every subsystem probe), and the serving
+# layer (the batched-vs-unbatched inference hot path plus a full
+# simulated serving run).
+BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath|ServeHotPath|ServeRun
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
@@ -74,13 +77,14 @@ bench-check:
 
 # Kernel floor rules without a baseline: ratios within one fresh run
 # (packed parallel GEMM >= 2x the serial row-stream, MD forces parallel
-# >= 1.2x serial — both only enforced when the run recorded >= 4 cores)
-# plus the deterministic TrainStepAlloc/scratch <= 45 allocs/op ceiling.
-# This is what CI's perf-smoke job runs: it works on any runner, even
-# one whose core count differs from the committed baseline's.
+# >= 1.2x serial, serving micro-batch >= 2x single-row dispatch — all
+# only enforced when the run recorded >= 4 cores) plus the deterministic
+# TrainStepAlloc/scratch <= 45 allocs/op ceiling. This is what CI's
+# perf-smoke job runs: it works on any runner, even one whose core
+# count differs from the committed baseline's.
 bench-floors:
-	$(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc' -benchmem \
-		./internal/tensor/ ./internal/md/ ./internal/ddl/ \
+	$(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc|ServeHotPath' -benchmem \
+		./internal/tensor/ ./internal/md/ ./internal/ddl/ ./internal/serve/ \
 		| $(GO) run ./cmd/summit-bench -floors
 
 # The §V resilience campaign's simulated-clock trace, viewable in
@@ -95,11 +99,14 @@ trace:
 chaos:
 	$(GO) run ./cmd/summit-chaos -scenario all -check
 
-# Short native-fuzz pass over the inputs untrusted text reaches: the
-# chaos scenario DSL parser and the fault-trace generator.
+# Short native-fuzz pass over the inputs untrusted text reaches — the
+# chaos scenario DSL parser and the fault-trace generator — plus the
+# serving admission queue's bookkeeping invariants under arbitrary
+# offer/release interleavings.
 fuzz-smoke:
 	$(GO) test ./internal/chaos/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 10s
 	$(GO) test ./internal/faults/ -run '^$$' -fuzz FuzzTraceGenerate -fuzztime 10s
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzAdmissionQueue -fuzztime 10s
 
 # Full reproduction report: every table/figure/study, paper vs measured.
 repro:

@@ -30,6 +30,11 @@ const (
 	// minMDSpeedup floors MDForces/serial / MDForces/parallel: the
 	// persistent-pool force kernel must actually beat serial.
 	minMDSpeedup = 1.2
+	// minServeBatchSpeedup floors ServeHotPath unbatched/batched: the
+	// serving layer's micro-batched inference must process the same rows
+	// at least 2x faster than single-row dispatch — it amortizes per-call
+	// overhead and fans rows out over the pool.
+	minServeBatchSpeedup = 2.0
 	// kernelFloorMinProcs is the recorded GOMAXPROCS below which the
 	// speedup floors are skipped (reported, not enforced).
 	kernelFloorMinProcs = 4
@@ -38,9 +43,30 @@ const (
 	maxTrainStepAllocs = 45
 )
 
-// checkKernelFloors enforces the parallel-kernel floors on a fresh
-// document. Absent benchmarks are fine (a partial sweep skips their
-// rules); a present pair is enforced.
+// ratioRule is one within-run speedup floor: numerator ns/op over
+// denominator ns/op must reach floor. Rules live in a table so every rule
+// is evaluated — and every violation reported — before the gate exits
+// nonzero; adding a floor is one line here plus a constant above.
+type ratioRule struct {
+	label    string
+	num, den string // benchmark names as recorded in the document
+	floor    float64
+}
+
+// ratioRules is the floor table -check and -floors enforce.
+var ratioRules = []ratioRule{
+	{"GemmRowStream256/GemmParallel256",
+		"BenchmarkGemmRowStream256", "BenchmarkGemmParallel256", minGemmSpeedup},
+	{"MDForces serial/parallel",
+		"BenchmarkMDForces/serial", "BenchmarkMDForces/parallel", minMDSpeedup},
+	{"ServeHotPath unbatched/batched",
+		"BenchmarkServeHotPath/unbatched", "BenchmarkServeHotPath/batched", minServeBatchSpeedup},
+}
+
+// checkKernelFloors enforces the alloc ceiling and every table rule on a
+// fresh document. Absent benchmarks are fine (a partial sweep skips their
+// rules); a present pair is enforced, and all violations are collected
+// rather than stopping at the first.
 func checkKernelFloors(fresh *document) (lines []string, failed []string) {
 	find := func(name string) *result {
 		for i := range fresh.Benchmarks {
@@ -59,33 +85,29 @@ func checkKernelFloors(fresh *document) (lines []string, failed []string) {
 		lines = append(lines, fmt.Sprintf("  TrainStepAlloc/scratch allocs/op %30.0f (ceiling %d)  [%s]",
 			r.AllocsPerOp, maxTrainStepAllocs, status))
 	}
-	ratio := func(label, num, den string, floor float64) {
-		nr, dr := find(num), find(den)
+	for _, rule := range ratioRules {
+		nr, dr := find(rule.num), find(rule.den)
 		if nr == nil && dr == nil {
-			return
+			continue
 		}
 		if nr == nil || dr == nil || dr.NsPerOp == 0 {
-			lines = append(lines, fmt.Sprintf("  %s: pair incomplete", label))
-			failed = append(failed, label)
-			return
+			lines = append(lines, fmt.Sprintf("  %s: pair incomplete", rule.label))
+			failed = append(failed, rule.label)
+			continue
 		}
 		if fresh.Gomaxprocs < kernelFloorMinProcs {
 			lines = append(lines, fmt.Sprintf("  %s floor %.1fx skipped (gomaxprocs %d < %d)",
-				label, floor, fresh.Gomaxprocs, kernelFloorMinProcs))
-			return
+				rule.label, rule.floor, fresh.Gomaxprocs, kernelFloorMinProcs))
+			continue
 		}
 		got := nr.NsPerOp / dr.NsPerOp
 		status := "ok"
-		if got < floor {
+		if got < rule.floor {
 			status = "REGRESSION"
-			failed = append(failed, label)
+			failed = append(failed, rule.label)
 		}
-		lines = append(lines, fmt.Sprintf("  %s ratio %.2fx (floor %.1fx)  [%s]", label, got, floor, status))
+		lines = append(lines, fmt.Sprintf("  %s ratio %.2fx (floor %.1fx)  [%s]", rule.label, got, rule.floor, status))
 	}
-	ratio("GemmRowStream256/GemmParallel256",
-		"BenchmarkGemmRowStream256", "BenchmarkGemmParallel256", minGemmSpeedup)
-	ratio("MDForces serial/parallel",
-		"BenchmarkMDForces/serial", "BenchmarkMDForces/parallel", minMDSpeedup)
 	return lines, failed
 }
 
@@ -97,7 +119,7 @@ func runFloors(fresh *document) {
 	lines, failed := checkKernelFloors(fresh)
 	fmt.Printf("kernel floor check (gomaxprocs %d):\n", fresh.Gomaxprocs)
 	if len(lines) == 0 {
-		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, TrainStepAlloc)")
+		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, ServeHotPath, TrainStepAlloc)")
 		os.Exit(1)
 	}
 	for _, l := range lines {

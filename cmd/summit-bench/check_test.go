@@ -178,3 +178,59 @@ func TestKernelFloorIncompletePairFails(t *testing.T) {
 		t.Fatalf("half a floor pair passed: %v", failed)
 	}
 }
+
+func TestServeBatchingFloor(t *testing.T) {
+	// 3x unbatched/batched clears the 2x serving floor.
+	fresh := doc(result{Name: "BenchmarkServeHotPath/unbatched", NsPerOp: 3000},
+		result{Name: "BenchmarkServeHotPath/batched", NsPerOp: 1000})
+	fresh.Gomaxprocs = 8
+	if _, failed := checkKernelFloors(fresh); len(failed) != 0 {
+		t.Fatalf("3x serve batching speedup failed the 2x floor: %v", failed)
+	}
+	// 1.5x misses it.
+	fresh = doc(result{Name: "BenchmarkServeHotPath/unbatched", NsPerOp: 1500},
+		result{Name: "BenchmarkServeHotPath/batched", NsPerOp: 1000})
+	fresh.Gomaxprocs = 8
+	lines, failed := checkKernelFloors(fresh)
+	if len(failed) != 1 || failed[0] != "ServeHotPath unbatched/batched" {
+		t.Fatalf("below-floor serve ratio not flagged: %v", failed)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "ServeHotPath") {
+		t.Fatalf("serve floor missing from report lines:\n%s", strings.Join(lines, "\n"))
+	}
+	// Like the kernel floors, it is reported but not enforced on 1 core.
+	fresh.Gomaxprocs = 1
+	if _, failed := checkKernelFloors(fresh); len(failed) != 0 {
+		t.Fatalf("serve floor enforced at 1 core: %v", failed)
+	}
+}
+
+// TestKernelFloorsReportAllViolations pins the gate's contract that every
+// violated floor is listed before the nonzero exit — a run that breaches
+// the Gemm, MD, serve, and alloc rules at once must surface all four, not
+// stop at the first.
+func TestKernelFloorsReportAllViolations(t *testing.T) {
+	fresh := doc(
+		result{Name: "BenchmarkGemmRowStream256", NsPerOp: 1000},
+		result{Name: "BenchmarkGemmParallel256", NsPerOp: 990},
+		result{Name: "BenchmarkMDForces/serial", NsPerOp: 1000},
+		result{Name: "BenchmarkMDForces/parallel", NsPerOp: 990},
+		result{Name: "BenchmarkServeHotPath/unbatched", NsPerOp: 1000},
+		result{Name: "BenchmarkServeHotPath/batched", NsPerOp: 990},
+		result{Name: "BenchmarkTrainStepAlloc/scratch", NsPerOp: 1, AllocsPerOp: 99},
+	)
+	fresh.Gomaxprocs = 8
+	lines, failed := checkKernelFloors(fresh)
+	if len(failed) != 4 {
+		t.Fatalf("want all 4 violations reported, got %d: %v", len(failed), failed)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{"GemmRowStream256", "MDForces", "ServeHotPath", "TrainStepAlloc"} {
+		if !strings.Contains(joined, frag) {
+			t.Fatalf("violation report missing %s:\n%s", frag, joined)
+		}
+	}
+	if got := strings.Count(joined, "REGRESSION"); got != 4 {
+		t.Fatalf("want 4 REGRESSION markers, got %d:\n%s", got, joined)
+	}
+}

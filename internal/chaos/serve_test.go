@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"summitscale/internal/obs"
+	"summitscale/internal/platform"
+	"summitscale/internal/serve"
+)
+
+// TestRunServeServingStorm pins the shed-load policy's value under the
+// serving reference scenario: partial capacity loss (cascade) plus a
+// link-degrade window over the evening burst. With shedding on, every
+// Interactive request that reaches an admitted queue is served and tail
+// latency stays below the no-policy run; the cost is refused Bulk work.
+func TestRunServeServingStorm(t *testing.T) {
+	p := platform.MustLookup("summit")
+	models := serve.DefaultModels(7)
+	spec := serve.DefaultTraffic()
+	rep, err := RunServe(p, ServingStorm(), 42, spec, models, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fails < 3 {
+		t.Errorf("serving-storm replayed %d replica losses, want >= 3 (cascade)", rep.Fails)
+	}
+	if rep.Repairs < 3 {
+		t.Errorf("serving-storm replayed %d repairs, want >= 3", rep.Repairs)
+	}
+	shed := 0
+	for _, m := range rep.Shed.Models {
+		shed += m.Shed
+	}
+	if shed == 0 {
+		t.Fatal("shed policy never engaged; the scenario no longer stresses capacity")
+	}
+	interOn, interOff := 0, 0
+	for _, r := range rep.Shed.Responses {
+		if r.Tier == serve.Interactive {
+			interOn++
+		}
+	}
+	for _, r := range rep.NoShed.Responses {
+		if r.Tier == serve.Interactive {
+			interOff++
+		}
+	}
+	if interOn <= interOff {
+		t.Errorf("shedding did not buy interactive availability: %d <= %d", interOn, interOff)
+	}
+	if rep.Shed.InteractiveP99 >= rep.NoShed.InteractiveP99 {
+		t.Errorf("shedding did not bound interactive p99: %v >= %v",
+			rep.Shed.InteractiveP99, rep.NoShed.InteractiveP99)
+	}
+}
+
+// TestRunServeDeterministic requires the chaos-serving comparison to be a
+// pure function of (platform, scenario, seed, spec), including through the
+// observer path.
+func TestRunServeDeterministic(t *testing.T) {
+	p := platform.MustLookup("summit")
+	models := serve.DefaultModels(7)
+	spec := serve.DefaultTraffic()
+	sc, err := Builtin("link-flap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := obs.New(), obs.New()
+	a, err := RunServe(p, sc, 7, spec, models, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServe(p, sc, 7, spec, models, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("identical chaos serving runs rendered differently")
+	}
+	if string(o1.Trace.ChromeTrace()) != string(o2.Trace.ChromeTrace()) {
+		t.Fatal("identical chaos serving runs traced differently")
+	}
+	if !strings.Contains(a.Render(), "link-flap") {
+		t.Errorf("render missing scenario name:\n%s", a.Render())
+	}
+}
+
+// TestRunServeRejectsBadInputs covers the error paths.
+func TestRunServeRejectsBadInputs(t *testing.T) {
+	p := platform.MustLookup("summit")
+	models := serve.DefaultModels(7)
+	sc := ServingStorm()
+	spec := serve.DefaultTraffic()
+	spec.Horizon = 0
+	if _, err := RunServe(p, sc, 1, spec, models, nil); err == nil {
+		t.Error("zero traffic horizon accepted")
+	}
+	bad := *sc
+	bad.Horizon = 0
+	if _, err := RunServe(p, &bad, 1, serve.DefaultTraffic(), models, nil); err == nil {
+		t.Error("zero scenario horizon accepted")
+	}
+}

@@ -120,6 +120,7 @@ func buildExperiments() []Experiment {
 	out = append(out, workflowExperiments()...)
 	out = append(out, resilienceExperiments()...)
 	out = append(out, chaosExperiments()...)
+	out = append(out, serveExperiments()...)
 	return out
 }
 

@@ -85,6 +85,23 @@ func TestChaosGoldenSummit(t *testing.T) {
 	}
 }
 
+// TestServeGoldenSummit pins the serving study: S6 is fully seeded
+// (model weights, user population, and chaos schedule all derive from
+// serveSeed), so its report must be byte-identical across reruns and
+// match the captured Summit golden.
+func TestServeGoldenSummit(t *testing.T) {
+	for _, e := range ServeExperimentsOn(platform.Summit()) {
+		first := RenderResult(e, e.Run())
+		if again := RenderResult(e, e.Run()); again != first {
+			t.Errorf("%s report not reproducible across reruns at fixed seed", e.ID)
+		}
+		want := readGolden(t, "serve-"+e.ID+".golden")
+		if first != want {
+			t.Errorf("%s report diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", e.ID, first, want)
+		}
+	}
+}
+
 // TestReportsFiniteOnAllPlatforms runs every sysreq and scaling
 // experiment on every registered machine and rejects NaN/Inf metrics or
 // empty reports.
@@ -97,8 +114,9 @@ func TestReportsFiniteOnAllPlatforms(t *testing.T) {
 		exps := append(SysreqExperimentsOn(p), ScalingExperimentsOn(p)...)
 		exps = append(exps, ResilienceExperimentsOn(p)...)
 		exps = append(exps, ChaosExperimentsOn(p)...)
-		if len(exps) != 12 {
-			t.Fatalf("%s: want 12 experiments, got %d", name, len(exps))
+		exps = append(exps, ServeExperimentsOn(p)...)
+		if len(exps) != 13 {
+			t.Fatalf("%s: want 13 experiments, got %d", name, len(exps))
 		}
 		for _, e := range exps {
 			res := e.Run()

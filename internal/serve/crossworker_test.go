@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"summitscale/internal/obs"
+	"summitscale/internal/parallel"
+	"summitscale/internal/platform"
+	"summitscale/internal/stats"
+)
+
+// runWidth executes the reference workload on a private pool of the given
+// width and returns the rendered report, the Chrome trace bytes, and the
+// raw responses.
+func runWidth(t *testing.T, width int, reqs []Request) (string, []byte, []Response) {
+	t.Helper()
+	p := platform.MustLookup("summit")
+	pool := parallel.NewWorkerPool(width)
+	defer pool.Close()
+	o := obs.New()
+	spec := testTraffic()
+	rep, err := Run(Config{
+		Platform: p, Models: DefaultModels(7), Horizon: spec.Horizon,
+		Pool: pool, Workers: width, Obs: o,
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Render(), o.Trace.ChromeTrace(), rep.Responses
+}
+
+// TestCrossWorkerDeterminism pins the tentpole guarantee: the serving
+// report, every response, and the full Chrome trace are byte-identical at
+// any worker-pool width — batch assembly is a pure function of the sorted
+// arrival stream and kernels write disjoint rows.
+func TestCrossWorkerDeterminism(t *testing.T) {
+	reqs, err := testTraffic().Generate(42, DefaultModels(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRender, refTrace, refResponses := runWidth(t, 1, reqs)
+	for _, width := range []int{2, 4, 8} {
+		render, trace, responses := runWidth(t, width, reqs)
+		if render != refRender {
+			t.Errorf("width %d: report differs from width 1", width)
+		}
+		if !bytes.Equal(trace, refTrace) {
+			t.Errorf("width %d: Chrome trace differs from width 1", width)
+		}
+		if !reflect.DeepEqual(responses, refResponses) {
+			t.Errorf("width %d: responses differ from width 1", width)
+		}
+	}
+}
+
+// TestArrivalOrderIndependence shuffles the request slice and checks the
+// outcome is unchanged: Run sorts by (Arrival, ID) before simulating, so
+// producer scheduling upstream can never leak into the serving report.
+func TestArrivalOrderIndependence(t *testing.T) {
+	reqs, err := testTraffic().Generate(42, DefaultModels(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRender, refTrace, refResponses := runWidth(t, 4, reqs)
+
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 3; trial++ {
+		shuffled := append([]Request(nil), reqs...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		render, trace, responses := runWidth(t, 4, shuffled)
+		if render != refRender {
+			t.Errorf("trial %d: shuffled arrivals changed the report", trial)
+		}
+		if !bytes.Equal(trace, refTrace) {
+			t.Errorf("trial %d: shuffled arrivals changed the trace", trial)
+		}
+		if !reflect.DeepEqual(responses, refResponses) {
+			t.Errorf("trial %d: shuffled arrivals changed the responses", trial)
+		}
+	}
+}
+
+// TestWorkersCapDoesNotChangePredictions runs one large batch through each
+// model at several worker caps on the shared pool and requires bitwise
+// identical outputs.
+func TestWorkersCapDoesNotChangePredictions(t *testing.T) {
+	rng := stats.NewRNG(5)
+	for _, m := range DefaultModels(7) {
+		rows := make([][]float64, 300)
+		for i := range rows {
+			row := make([]float64, m.FeatureDim())
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			rows[i] = row
+		}
+		ref := make([]float64, len(rows))
+		m.PredictBatch(parallel.Shared(), 1, rows, ref)
+		for _, w := range []int{2, 3, 8} {
+			out := make([]float64, len(rows))
+			m.PredictBatch(parallel.Shared(), w, rows, out)
+			if !reflect.DeepEqual(out, ref) {
+				t.Errorf("%s: workers=%d changed predictions", m.Name(), w)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"summitscale/internal/perf"
+	"summitscale/internal/platform"
+	"summitscale/internal/units"
+)
+
+// Pricer converts (model, batch size) into an analytic service time via
+// the device roofline — §VI-B's "attainable = min(peak, intensity × BW)"
+// model applied to inference. Micro-batching pays because a batch streams
+// the model's weights once: arithmetic intensity grows with batch size,
+// so per-sample time falls until the kernel goes compute-bound, exactly
+// the Brewer et al. batching argument.
+type Pricer struct {
+	// Roofline is the serving device's performance envelope.
+	Roofline perf.Roofline
+	// Launch is the fixed per-batch dispatch overhead (request
+	// marshalling, kernel launch, PCIe staging) — the term batching
+	// amortizes.
+	Launch units.Seconds
+	// PerReq is the per-request host-side cost (deserialization, feature
+	// assembly, response framing) paid once per row regardless of
+	// batching; it bounds a replica's sustainable throughput.
+	PerReq units.Seconds
+	// RTT is the one-way network transit added to every response,
+	// inflated by the link factor while flap windows are active.
+	RTT units.Seconds
+}
+
+// PricerFor derives the serving price model from a platform: the GPU
+// roofline, a fixed 5 ms dispatch overhead per batch, 0.5 ms of host-side
+// work per request, and the machine's network latency per response hop.
+func PricerFor(p platform.Platform) Pricer {
+	return Pricer{
+		Roofline: p.Roofline(),
+		Launch:   5e-3,
+		PerReq:   0.5e-3,
+		RTT:      p.NetworkLatency,
+	}
+}
+
+// Intensity returns the arithmetic intensity (flops/byte) of one batched
+// inference call: the weights stream once, activations per row.
+func (pr Pricer) Intensity(m Model, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	flops := float64(batch) * m.FlopsPerSample()
+	bytes := m.WeightBytes() + float64(batch)*m.BytesPerSample()
+	return flops / bytes
+}
+
+// ServiceTime prices one batch on a replica: launch overhead, per-request
+// host work, plus the roofline-attainable time for the batch's flops.
+func (pr Pricer) ServiceTime(m Model, batch int) units.Seconds {
+	if batch < 1 {
+		batch = 1
+	}
+	flops := float64(batch) * m.FlopsPerSample()
+	rate := pr.Roofline.Attainable(pr.Intensity(m, batch))
+	return pr.Launch + units.Seconds(batch)*pr.PerReq + units.Seconds(flops/float64(rate))
+}
+
+// PerSample is the amortized per-request service time at a batch size.
+func (pr Pricer) PerSample(m Model, batch int) units.Seconds {
+	if batch < 1 {
+		batch = 1
+	}
+	return pr.ServiceTime(m, batch) / units.Seconds(batch)
+}
+
+// Amortization is the analytic batching win: per-sample time unbatched
+// over per-sample time at the given batch size. This is the quantity the
+// ServeHotPath floor (batched ≥ 2× unbatched) measures empirically.
+func (pr Pricer) Amortization(m Model, batch int) float64 {
+	return float64(pr.PerSample(m, 1)) / float64(pr.PerSample(m, batch))
+}
