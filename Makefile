@@ -14,7 +14,7 @@ help:
 	@echo "  bench      every benchmark with -benchmem"
 	@echo "  bench-json hot-path benchmarks (RunAll, DAGSchedule, MDForces,"
 	@echo "             TrainStepAlloc, Gemm, ObsHotPath, ChaosHotPath,"
-	@echo "             ServeHotPath, ServeRun) -> BENCH_hotpath.json"
+	@echo "             ServeHotPath, ServeRun, CampaignHotPath) -> BENCH_hotpath.json"
 	@echo "  trace      RS2 campaign trace -> out.json (Chrome trace-event)"
 	@echo "  chaos      every builtin adversarial scenario + invariant suite"
 	@echo "  fuzz-smoke short fuzz pass over the scenario parser, the"
@@ -22,8 +22,8 @@ help:
 	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
 	@echo "             vs the committed BENCH_hotpath.json"
 	@echo "  bench-floors kernel floor rules only (Gemm 2x, MDForces 1.2x,"
-	@echo "             ServeHotPath batching 2x at >=4 cores; TrainStep"
-	@echo "             allocs <=45 always), no baseline"
+	@echo "             ServeHotPath batching 2x, CampaignHotPath 1.2x at"
+	@echo "             >=4 cores; TrainStep allocs <=45 always), no baseline"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
 	@echo "  examples   run every example once"
 	@echo "  figures    regenerate the paper figures as SVG"
@@ -57,12 +57,16 @@ bench:
 # DAGSchedule cold/warm ablation), the sharded MD force kernel, the
 # training-step allocation pair, the GEMM kernel ablation, the obs
 # instrumentation overhead, one full chaos scenario pass (compile the
-# perfect-storm spec + drive every subsystem probe), and the serving
-# layer (the batched-vs-unbatched inference hot path plus a full
-# simulated serving run).
-BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath|ServeHotPath|ServeRun
+# perfect-storm spec + drive every subsystem probe), the serving layer
+# (the batched-vs-unbatched inference hot path plus a full simulated
+# serving run), and the benchmark-campaign evaluation pair. The GEMM
+# panel depth is pinned via SUMMITSCALE_GEMM_KC so the wall-clock
+# autotuner can't pick a different blocking per run and shift every
+# GEMM-backed number.
+BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath|ServeHotPath|ServeRun|CampaignHotPath
+BENCH_ENV = SUMMITSCALE_GEMM_KC=256
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
 
@@ -72,19 +76,20 @@ bench-json:
 # flat path. Timings on shared runners are noisy, so CI runs this job
 # non-blocking.
 bench-check:
-	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
 		| $(GO) run ./cmd/summit-bench -check BENCH_hotpath.json
 
 # Kernel floor rules without a baseline: ratios within one fresh run
 # (packed parallel GEMM >= 2x the serial row-stream, MD forces parallel
-# >= 1.2x serial, serving micro-batch >= 2x single-row dispatch — all
-# only enforced when the run recorded >= 4 cores) plus the deterministic
+# >= 1.2x serial, serving micro-batch >= 2x single-row dispatch,
+# campaign evaluation parallel >= 1.2x serial — all only enforced when
+# the run recorded >= 4 cores) plus the deterministic
 # TrainStepAlloc/scratch <= 45 allocs/op ceiling. This is what CI's
 # perf-smoke job runs: it works on any runner, even one whose core
 # count differs from the committed baseline's.
 bench-floors:
-	$(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc|ServeHotPath' -benchmem \
-		./internal/tensor/ ./internal/md/ ./internal/ddl/ ./internal/serve/ \
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc|ServeHotPath|CampaignHotPath' -benchmem \
+		./internal/tensor/ ./internal/md/ ./internal/ddl/ ./internal/serve/ ./internal/bench/ \
 		| $(GO) run ./cmd/summit-bench -floors
 
 # The §V resilience campaign's simulated-clock trace, viewable in

@@ -35,6 +35,12 @@ const (
 	// at least 2x faster than single-row dispatch — it amortizes per-call
 	// overhead and fans rows out over the pool.
 	minServeBatchSpeedup = 2.0
+	// minCampaignSpeedup floors CampaignHotPath serial/parallel: the
+	// benchmark-campaign harness must evaluate instances (TTT pricing +
+	// proxy training) concurrently, not in a serial loop. Each proxy run
+	// already holds a small rank-world of goroutines, so the fan-out
+	// margin is thinner than a pure kernel's.
+	minCampaignSpeedup = 1.2
 	// kernelFloorMinProcs is the recorded GOMAXPROCS below which the
 	// speedup floors are skipped (reported, not enforced).
 	kernelFloorMinProcs = 4
@@ -61,6 +67,8 @@ var ratioRules = []ratioRule{
 		"BenchmarkMDForces/serial", "BenchmarkMDForces/parallel", minMDSpeedup},
 	{"ServeHotPath unbatched/batched",
 		"BenchmarkServeHotPath/unbatched", "BenchmarkServeHotPath/batched", minServeBatchSpeedup},
+	{"CampaignHotPath serial/parallel",
+		"BenchmarkCampaignHotPath/serial", "BenchmarkCampaignHotPath/parallel", minCampaignSpeedup},
 }
 
 // checkKernelFloors enforces the alloc ceiling and every table rule on a
@@ -119,7 +127,7 @@ func runFloors(fresh *document) {
 	lines, failed := checkKernelFloors(fresh)
 	fmt.Printf("kernel floor check (gomaxprocs %d):\n", fresh.Gomaxprocs)
 	if len(lines) == 0 {
-		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, ServeHotPath, TrainStepAlloc)")
+		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, ServeHotPath, CampaignHotPath, TrainStepAlloc)")
 		os.Exit(1)
 	}
 	for _, l := range lines {

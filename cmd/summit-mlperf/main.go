@@ -1,0 +1,113 @@
+// Command summit-mlperf runs the MLPerf-HPC-style benchmark campaign
+// suite: the registered science workloads (CosmoFlow, DeepCAM,
+// OpenCatalyst) priced as closed-division time-to-train, swept across
+// strong/weak scaling, and scheduled as concurrent campaign instances
+// onto the machine's node pool — singly ("mixed") or as N identical
+// instances ("throughput mode"). Every report is a pure function of
+// (platform, campaign, seed): any -j replays byte-identically, which is
+// exactly what the CI mlperf-smoke gate checks.
+//
+// Usage:
+//
+//	summit-mlperf                              # mixed suite on summit
+//	summit-mlperf -platform frontier -sweep cosmoflow
+//	summit-mlperf -workload deepcam -instances 4   # throughput mode
+//	summit-mlperf -scenario campaign-storm         # chaos replay, ckpt policy on vs off
+//	summit-mlperf -j 4 -metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"summitscale/internal/bench"
+	"summitscale/internal/chaos"
+	"summitscale/internal/obs"
+	"summitscale/internal/platform"
+)
+
+func main() {
+	plat := flag.String("platform", "summit", "benchmark machine ("+strings.Join(platform.Names(), ", ")+")")
+	seed := flag.Uint64("seed", 42, "RNG seed for the chaos schedule")
+	workers := flag.Int("j", 0, "instance-evaluator cap (0 = all cores); cannot change any output byte")
+	workload := flag.String("workload", "", "throughput mode: run -instances copies of this workload ("+strings.Join(bench.Names(), ", ")+")")
+	instances := flag.Int("instances", 4, "throughput mode: number of concurrent instances")
+	sweep := flag.String("sweep", "", "print strong/weak scaling sweeps for this workload instead of a campaign")
+	scenario := flag.String("scenario", "", "replay a chaos scenario against the campaign: \"campaign-storm\", a builtin name, or a scenario file")
+	metrics := flag.Bool("metrics", false, "print the obs metrics summary after the report")
+	flag.Parse()
+
+	p, err := platform.Lookup(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	var ob *obs.Observer
+	if *metrics {
+		ob = obs.New()
+	}
+
+	switch {
+	case *sweep != "":
+		w, ok := bench.Lookup(*sweep)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (have %s)", *sweep, strings.Join(bench.Names(), ", ")))
+		}
+		ladder := bench.SweepNodes(p, 8)
+		fmt.Print(bench.RenderSweep(w, bench.WeakScaling, bench.Sweep(p, w, bench.WeakScaling, ladder)))
+		fmt.Print(bench.RenderSweep(w, bench.StrongScaling, bench.Sweep(p, w, bench.StrongScaling, ladder)))
+
+	case *scenario != "":
+		sc, err := loadScenario(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := chaos.RunCampaign(p, sc, *seed, campaign(p, *workload, *instances), *workers, ob)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Render())
+
+	default:
+		rep, err := bench.RunCampaign(p, campaign(p, *workload, *instances), *workers, ob)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Render())
+	}
+
+	if *metrics {
+		fmt.Print(ob.Metrics.Render())
+	}
+}
+
+// campaign resolves the campaign to run: the mixed suite by default, or
+// throughput mode when a workload is named.
+func campaign(p platform.Platform, workload string, instances int) bench.Campaign {
+	if workload == "" {
+		return bench.DefaultCampaign(p)
+	}
+	return bench.ThroughputCampaign(p, workload, instances)
+}
+
+// loadScenario resolves -scenario: the campaign reference scenario, a
+// builtin name, or a scenario file.
+func loadScenario(s string) (*chaos.Scenario, error) {
+	if s == "campaign-storm" {
+		return chaos.CampaignStorm(), nil
+	}
+	if strings.ContainsAny(s, "/\\.") {
+		text, err := os.ReadFile(s)
+		if err != nil {
+			return nil, err
+		}
+		return chaos.Parse(string(text))
+	}
+	return chaos.Builtin(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "summit-mlperf: %v\n", err)
+	os.Exit(2)
+}

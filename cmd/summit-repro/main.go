@@ -81,6 +81,7 @@ func main() {
 		exps := append(core.SysreqExperimentsOn(p), core.ScalingExperimentsOn(p)...)
 		exps = append(exps, core.ResilienceExperimentsOn(p)...)
 		exps = append(exps, core.ChaosExperimentsOn(p)...)
+		exps = append(exps, core.MLPerfExperimentsOn(p)...)
 		var b strings.Builder
 		pass = true
 		for _, e := range exps {

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"summitscale/internal/platform"
+)
+
+// BenchmarkCampaignHotPath times the campaign evaluation hot path — the
+// analytic TTT pricing plus the real reduced-scale proxy training run
+// for every instance of the mixed suite — serially and fanned over the
+// evaluator pool. The parallel/serial ratio is a kernel-floor rule in
+// cmd/summit-bench: instance evaluation must actually scale, or the
+// multi-instance campaign harness has regressed to a serial loop.
+func BenchmarkCampaignHotPath(b *testing.B) {
+	p := platform.Summit()
+	c := DefaultCampaign(p)
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunCampaign(p, c, workers, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU()) })
+}

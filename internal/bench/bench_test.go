@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"summitscale/internal/models"
+	"summitscale/internal/platform"
+	"summitscale/internal/units"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	for _, want := range []string{"cosmoflow", "deepcam", "opencatalyst"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("builtin %q not registered", want)
+		}
+	}
+	if len(Suite()) != len(names) {
+		t.Fatalf("Suite returned %d of %d workloads", len(Suite()), len(names))
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	if err := Register(CosmoFlowWorkload()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	bad := CosmoFlowWorkload()
+	bad.Name = ""
+	if err := Register(bad); err == nil {
+		t.Fatal("unnamed workload accepted")
+	}
+	bad = CosmoFlowWorkload()
+	bad.Name = "bad-dataset"
+	bad.DatasetBytes = 0
+	if err := Register(bad); err == nil {
+		t.Fatal("zero-dataset workload accepted")
+	}
+	// A valid plug-in registers and becomes visible everywhere.
+	ext := CosmoFlowWorkload()
+	ext.Name = "cosmoflow-ext-test"
+	if err := Register(ext); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Lookup("cosmoflow-ext-test"); !ok {
+		t.Fatal("registered workload not found")
+	}
+}
+
+func TestEpochModel(t *testing.T) {
+	w := CosmoFlowWorkload()
+	if got := w.EpochsAt(w.ReferenceBatch); got != w.ReferenceEpochs {
+		t.Errorf("epochs at reference batch = %v, want %v", got, w.ReferenceEpochs)
+	}
+	if got := w.EpochsAt(w.ReferenceBatch / 4); got != w.ReferenceEpochs {
+		t.Errorf("epochs below reference = %v, want flat %v", got, w.ReferenceEpochs)
+	}
+	if got := w.EpochsAt(4 * w.ReferenceBatch); got <= w.ReferenceEpochs {
+		t.Errorf("epochs at 4x reference = %v, want > %v", got, w.ReferenceEpochs)
+	}
+	if !w.ConvergesAt(w.MaxGlobalBatch) || w.ConvergesAt(w.MaxGlobalBatch+1) {
+		t.Error("convergence envelope boundary wrong")
+	}
+}
+
+func TestTimeToTrainShape(t *testing.T) {
+	p := platform.Summit()
+	cf := TimeToTrain(p, CosmoFlowWorkload(), 128)
+	if cf.Total <= 0 || cf.Train <= 0 || cf.Throughput <= 0 {
+		t.Fatalf("degenerate TTT: %+v", cf)
+	}
+	if cf.StageIn <= 0 || cf.Plan == "stream" {
+		t.Errorf("cosmoflow on summit should stage to node-local, got plan %q stage-in %v", cf.Plan, cf.StageIn)
+	}
+	if cf.Total != cf.StageIn+cf.Train {
+		t.Error("Total != StageIn + Train")
+	}
+	oc := TimeToTrain(p, OpenCatalystWorkload(), 64)
+	if oc.Plan != "stream" || oc.StageIn != 0 {
+		t.Errorf("SharedFS workload must stream: plan %q stage-in %v", oc.Plan, oc.StageIn)
+	}
+	// Diskless machines always stream.
+	jb, err := platform.Lookup("juwels-booster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TimeToTrain(jb, CosmoFlowWorkload(), 64); got.Plan != "stream" {
+		t.Errorf("diskless machine staged: plan %q", got.Plan)
+	}
+}
+
+func TestSweepEfficiencies(t *testing.T) {
+	p := platform.Summit()
+	for _, mode := range []SweepMode{WeakScaling, StrongScaling} {
+		pts := Sweep(p, CosmoFlowWorkload(), mode, []int{8, 16, 32, 64})
+		if pts[0].Efficiency != 1 {
+			t.Errorf("%v: base efficiency = %v, want 1", mode, pts[0].Efficiency)
+		}
+		for i, pt := range pts {
+			if !(pt.Efficiency > 0 && pt.Efficiency <= 1.0001) {
+				t.Errorf("%v point %d: efficiency %v out of (0,1]", mode, i, pt.Efficiency)
+			}
+		}
+		// Efficiency must fall (or hold) as scale grows: comm and jitter
+		// only get worse.
+		if pts[len(pts)-1].Efficiency > pts[0].Efficiency {
+			t.Errorf("%v: efficiency rose with scale", mode)
+		}
+	}
+	// Weak scaling grows the global batch; strong holds it near reference.
+	weak := Sweep(p, CosmoFlowWorkload(), WeakScaling, []int{8, 64})
+	if weak[1].TTT.GlobalBatch <= weak[0].TTT.GlobalBatch {
+		t.Error("weak scaling did not grow the global batch")
+	}
+	// Strong scaling holds the global batch at the reference (up to the
+	// integer floor of the per-GPU batch) instead of growing with devices.
+	ref := CosmoFlowWorkload().ReferenceBatch
+	strong := Sweep(p, CosmoFlowWorkload(), StrongScaling, []int{4, 8})
+	for i, pt := range strong {
+		if pt.TTT.GlobalBatch > ref || pt.TTT.GlobalBatch < ref/2 {
+			t.Errorf("strong point %d: global batch %d drifted from reference %d",
+				i, pt.TTT.GlobalBatch, ref)
+		}
+	}
+}
+
+func TestProxyTrainDeterministicAndConverging(t *testing.T) {
+	w := CosmoFlowWorkload()
+	a := ProxyTrain(w, 7, 2, 8)
+	b := ProxyTrain(w, 7, 2, 8)
+	if a != b {
+		t.Fatalf("proxy not deterministic: %+v vs %+v", a, b)
+	}
+	if !a.Converged || a.FinalLoss >= a.InitialLoss {
+		t.Fatalf("proxy did not converge: %+v", a)
+	}
+	if c := ProxyTrain(w, 8, 2, 8); c.FinalLoss == a.FinalLoss {
+		t.Error("seed does not reach the proxy")
+	}
+}
+
+func TestCampaignByteIdenticalAcrossWorkers(t *testing.T) {
+	p := platform.Summit()
+	c := DefaultCampaign(p)
+	base, err := RunCampaign(p, c, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		rep, err := RunCampaign(p, c, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Render() != base.Render() {
+			t.Fatalf("workers=%d: campaign render differs from serial", workers)
+		}
+	}
+}
+
+func TestThroughputCampaignConcurrency(t *testing.T) {
+	p := platform.Summit()
+	rep, err := RunCampaign(p, ThroughputCampaign(p, "cosmoflow", 4), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxConcurrent < 3 {
+		t.Fatalf("throughput mode ran %d concurrent instances, want >= 3", rep.MaxConcurrent)
+	}
+	if !(rep.Sched.Utilization > 0 && rep.Sched.Utilization <= 1) {
+		t.Fatalf("utilization %v out of (0,1]", rep.Sched.Utilization)
+	}
+	if rep.AggThroughput <= 0 {
+		t.Fatal("no aggregate throughput")
+	}
+	for _, ir := range rep.Instances {
+		if ir.TTT.Total <= 0 || ir.Completion <= 0 {
+			t.Fatalf("instance %d has degenerate TTT/completion: %+v", ir.ID, ir)
+		}
+	}
+	if !rep.AllConverged {
+		t.Fatal("closed-scale throughput campaign should converge")
+	}
+}
+
+func TestCampaignLateSubmitUsesBusySpanUtilization(t *testing.T) {
+	p := platform.Summit()
+	c := ThroughputCampaign(p, "deepcam", 3)
+	for i := range c.Instances {
+		c.Instances[i].Submit = 50_000 // campaign starts late in the day
+	}
+	rep, err := RunCampaign(p, c, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sched.FirstStart != 50_000 {
+		t.Fatalf("first start %v, want 50000", rep.Sched.FirstStart)
+	}
+	// The pre-fix metric divided by the makespan measured from t=0; with a
+	// ~2-minute campaign starting at t=50000 that dilutes utilization by
+	// two orders of magnitude. The fixed metric measures the busy window.
+	preFix := rep.Sched.Utilization * rep.Sched.Span() / rep.Sched.Makespan
+	if rep.Sched.Utilization < 100*preFix {
+		t.Fatalf("utilization %v vs from-zero %v: busy-span fix not in effect",
+			rep.Sched.Utilization, preFix)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	p := platform.Summit()
+	if _, err := RunCampaign(p, Campaign{Name: "empty"}, 1, nil); err == nil {
+		t.Error("empty campaign accepted")
+	}
+	if _, err := RunCampaign(p, Campaign{Name: "x", Instances: []Instance{{Workload: "nope", Nodes: 1}}}, 1, nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := RunCampaign(p, Campaign{Name: "x", Instances: []Instance{{Workload: "cosmoflow", Nodes: p.Nodes + 1}}}, 1, nil); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestCampaignFiniteOnAllPlatforms(t *testing.T) {
+	for _, name := range platform.Names() {
+		p, err := platform.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunCampaign(p, DefaultCampaign(p), 4, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Sched.Makespan <= 0 || rep.AggThroughput <= 0 {
+			t.Fatalf("%s: degenerate campaign %+v", name, rep)
+		}
+		if strings.Contains(rep.Render(), "NaN") || strings.Contains(rep.Render(), "Inf") {
+			t.Fatalf("%s: non-finite campaign output", name)
+		}
+	}
+}
+
+func TestClosedNodes(t *testing.T) {
+	p := platform.Summit()
+	for _, w := range Suite() {
+		n := ClosedNodes(p, w)
+		if n < 1 || n > p.Nodes {
+			t.Fatalf("%s: closed nodes %d out of range", w.Name, n)
+		}
+		if !w.ConvergesAt(n * p.Node.GPUs * w.Model.PerGPUBatch) {
+			t.Errorf("%s: %d nodes exceeds the convergence envelope", w.Name, n)
+		}
+	}
+	// Unbounded envelope means the whole machine.
+	u := CosmoFlowWorkload()
+	u.MaxGlobalBatch = 0
+	if got := ClosedNodes(p, u); got != p.Nodes {
+		t.Errorf("unbounded workload closed nodes = %d, want %d", got, p.Nodes)
+	}
+}
+
+func TestWorkloadSamples(t *testing.T) {
+	w := Workload{Model: models.CosmoFlow(), DatasetBytes: 100 * units.MB}
+	if got := w.Samples(); got != int(float64(100*units.MB)/float64(models.CosmoFlow().RecordBytes)) {
+		t.Errorf("Samples = %d", got)
+	}
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"summitscale/internal/perf"
+	"summitscale/internal/platform"
+	"summitscale/internal/storage"
+	"summitscale/internal/units"
+)
+
+// TTT is one closed-division time-to-train measurement: the wall time
+// from job start (stage-in included — MLPerf HPC counts it) to the
+// epoch at which the quality target is reached.
+type TTT struct {
+	Workload    string
+	Nodes       int
+	Devices     int
+	GlobalBatch int
+	// Plan is the input-pipeline choice: "replicate", "partition"
+	// (node-local staging), or "stream" (shared FS).
+	Plan string
+	// Epochs is the convergence model's epoch count at this batch.
+	Epochs float64
+	// Converged is false when the global batch exceeds the workload's
+	// closed-division envelope; the time is then open-division-only.
+	Converged bool
+
+	StageIn   units.Seconds
+	EpochTime units.Seconds
+	Train     units.Seconds // Epochs * EpochTime
+	Total     units.Seconds // StageIn + Train
+	// Throughput is the steady-state global samples/s.
+	Throughput float64
+}
+
+// String renders one measurement.
+func (t TTT) String() string {
+	conv := "closed"
+	if !t.Converged {
+		conv = "open"
+	}
+	return fmt.Sprintf("%s @ %d nodes (%d devices, batch %d, %s, %s): %.1f epochs, stage-in %v, train %v, TTT %v (%.0f samples/s)",
+		t.Workload, t.Nodes, t.Devices, t.GlobalBatch, t.Plan, conv,
+		t.Epochs, t.StageIn, t.Train, t.Total, t.Throughput)
+}
+
+// TimeToTrain prices the workload at the given node count with its
+// customary per-GPU batch.
+func TimeToTrain(p platform.Platform, w Workload, nodes int) TTT {
+	return timeToTrain(p, w, nodes, 0)
+}
+
+// timeToTrain is TimeToTrain with an optional per-GPU batch override
+// (perGPU > 0), the hook the strong-scaling sweep uses to hold the
+// global batch fixed while devices multiply.
+func timeToTrain(p platform.Platform, w Workload, nodes, perGPU int) TTT {
+	if nodes < 1 {
+		panic(fmt.Sprintf("bench: %s needs at least one node", w.Name))
+	}
+	job := p.Job(w.Model, nodes)
+	if perGPU > 0 {
+		job.Model.PerGPUBatch = perGPU
+	}
+	job.OverlapComm = w.OverlapComm
+	job.GradLag = w.GradLag
+	job.JitterPerDoubling = w.JitterPerDoubling
+	job.FixedOverhead = w.FixedOverhead
+
+	// Input pipeline: stage to node-local drives when the machine has
+	// them, the workload tolerates staging, and the dataset fits; else
+	// stream from the shared file system (and pay no stage-in).
+	plan := "stream"
+	store := storage.Store(p.GPFS())
+	var stageIn, shuffle units.Seconds
+	if !w.SharedFS && p.HasNodeLocal() {
+		st := p.Stager()
+		if pl, err := st.PlanFor(w.DatasetBytes, nodes); err == nil {
+			store = p.NVMe()
+			stageIn = st.StagingTime(w.DatasetBytes, nodes, pl)
+			shuffle = st.EpochShuffleTime(w.DatasetBytes, nodes, pl)
+			if pl == storage.PartitionDataset {
+				plan = "partition"
+			} else {
+				plan = "replicate"
+			}
+		}
+	}
+	job.Store = store
+
+	devices := nodes * job.GPUsPerNode
+	globalBatch := devices * job.Model.PerGPUBatch
+	epochs := w.EpochsAt(globalBatch)
+	throughput := perf.Throughput(job)
+	epochTime := units.Seconds(float64(w.Samples())/throughput) + shuffle
+	train := units.Seconds(epochs * float64(epochTime))
+	return TTT{
+		Workload:    w.Name,
+		Nodes:       nodes,
+		Devices:     devices,
+		GlobalBatch: globalBatch,
+		Plan:        plan,
+		Epochs:      epochs,
+		Converged:   w.ConvergesAt(globalBatch),
+		StageIn:     stageIn,
+		EpochTime:   epochTime,
+		Train:       train,
+		Total:       stageIn + train,
+		Throughput:  throughput,
+	}
+}
+
+// SweepMode selects the scaling discipline.
+type SweepMode int
+
+const (
+	// WeakScaling holds the per-GPU batch fixed: the global batch (and
+	// the convergence penalty) grows with devices.
+	WeakScaling SweepMode = iota
+	// StrongScaling holds the global batch fixed at the workload's
+	// reference: the per-GPU batch shrinks with devices until it floors
+	// at 1, so communication is progressively exposed.
+	StrongScaling
+)
+
+func (m SweepMode) String() string {
+	if m == StrongScaling {
+		return "strong"
+	}
+	return "weak"
+}
+
+// SweepPoint is one node count of a scaling sweep.
+type SweepPoint struct {
+	TTT TTT
+	// Efficiency is per-device throughput relative to the sweep's first
+	// point (weak), or achieved/ideal speedup of the train time (strong).
+	Efficiency float64
+}
+
+// Sweep evaluates the workload's TTT across node counts under the given
+// discipline. Node counts must be positive and ascending.
+func Sweep(p platform.Platform, w Workload, mode SweepMode, nodes []int) []SweepPoint {
+	if len(nodes) == 0 {
+		panic("bench: empty sweep")
+	}
+	pts := make([]SweepPoint, len(nodes))
+	for i, n := range nodes {
+		if i > 0 && n <= nodes[i-1] {
+			panic("bench: sweep node counts must ascend")
+		}
+		perGPU := 0
+		if mode == StrongScaling {
+			gpus := p.Node.GPUs
+			if gpus < 1 {
+				gpus = 1
+			}
+			perGPU = w.ReferenceBatch / (n * gpus)
+			if perGPU < 1 {
+				perGPU = 1
+			}
+		}
+		pts[i].TTT = timeToTrain(p, w, n, perGPU)
+	}
+	base := pts[0].TTT
+	for i := range pts {
+		t := pts[i].TTT
+		switch mode {
+		case StrongScaling:
+			ideal := float64(t.Nodes) / float64(base.Nodes)
+			pts[i].Efficiency = float64(base.Train) / float64(t.Train) / ideal
+		default:
+			perDev := t.Throughput / float64(t.Devices)
+			pts[i].Efficiency = perDev / (base.Throughput / float64(base.Devices))
+		}
+	}
+	return pts
+}
+
+// SweepNodes returns the default sweep ladder for a machine: powers of
+// two from base up to the machine size (capped at six points).
+func SweepNodes(p platform.Platform, base int) []int {
+	if base < 1 {
+		base = 1
+	}
+	var nodes []int
+	for n := base; n <= p.Nodes && len(nodes) < 6; n *= 2 {
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		nodes = []int{p.Nodes}
+	}
+	return nodes
+}
+
+// RenderSweep formats a sweep as an aligned table.
+func RenderSweep(w Workload, mode SweepMode, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s scaling (%s <= %.3f):\n", w.Title, mode, w.QualityMetric, w.TargetQuality)
+	fmt.Fprintf(&b, "  %6s %8s %7s %10s %12s %12s %5s\n",
+		"nodes", "batch", "epochs", "samples/s", "train", "TTT", "eff")
+	for _, pt := range pts {
+		t := pt.TTT
+		mark := ""
+		if !t.Converged {
+			mark = " (open)"
+		}
+		fmt.Fprintf(&b, "  %6d %8d %7.1f %10.0f %12v %12v %4.0f%%%s\n",
+			t.Nodes, t.GlobalBatch, t.Epochs, t.Throughput, t.Train, t.Total,
+			100*pt.Efficiency, mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+// Package bench is the MLPerf-HPC-style benchmark suite (Farrell et al.,
+// arXiv:2110.11466) grown from internal/models: a pluggable registry of
+// scientific training workloads with the data-shape and convergence
+// accounting the closed division needs, a time-to-train metric with
+// strong/weak-scaling sweeps driven through the perf/storage models, and
+// a campaign harness (campaign.go) that schedules many concurrent
+// training instances onto one machine through internal/sched — the
+// suite's "all of the machine" throughput mode.
+//
+// Everything here is a pure function of (platform, workload, seed):
+// reports render byte-identically at any worker count, which is what
+// lets core pin an S7 golden and CI diff -j 4 against -j 1.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"summitscale/internal/models"
+	"summitscale/internal/units"
+)
+
+// Workload is one benchmark entry: a model architecture plus the
+// dataset/convergence contract that turns throughput into time-to-train.
+type Workload struct {
+	// Name is the registry key ("cosmoflow", "deepcam", "opencatalyst").
+	Name string
+	// Title is the display name used in reports.
+	Title string
+	// Science is the one-line scientific task description.
+	Science string
+	// Model supplies parameter counts, record sizes, per-GPU throughput.
+	Model models.ModelSpec
+	// DatasetBytes is the full training-set size as staged/streamed.
+	DatasetBytes units.Bytes
+
+	// QualityMetric and TargetQuality state the closed-division
+	// convergence bar ("MAE" <= 0.124, "IoU" >= 0.82, ...). They are
+	// reporting metadata: the epoch model below decides convergence.
+	QualityMetric string
+	TargetQuality float64
+
+	// ReferenceEpochs is the epoch count that reaches the target at
+	// ReferenceBatch. Above the reference batch, required epochs grow as
+	// (batch/ReferenceBatch)^BatchEpochExp — the large-batch convergence
+	// penalty every MLPerf HPC submission fights.
+	ReferenceEpochs float64
+	ReferenceBatch  int
+	BatchEpochExp   float64
+	// MaxGlobalBatch is the largest global batch known to converge at
+	// all; beyond it the run is open-division-only (Converged=false).
+	MaxGlobalBatch int
+
+	// Perf-model calibration knobs (see perf.Job).
+	OverlapComm       float64
+	GradLag           bool
+	JitterPerDoubling float64
+	FixedOverhead     units.Seconds
+	// SharedFS forces streaming from the shared file system even on
+	// machines with node-local storage (random-access patterns that
+	// defeat staging).
+	SharedFS bool
+}
+
+// Samples is the number of training records in the dataset.
+func (w Workload) Samples() int {
+	return int(float64(w.DatasetBytes) / float64(w.Model.RecordBytes))
+}
+
+// EpochsAt returns the epochs needed to reach the quality target at the
+// given global batch: flat up to the reference batch, then the
+// power-law penalty.
+func (w Workload) EpochsAt(globalBatch int) float64 {
+	if globalBatch <= w.ReferenceBatch || w.ReferenceBatch <= 0 {
+		return w.ReferenceEpochs
+	}
+	return w.ReferenceEpochs * math.Pow(float64(globalBatch)/float64(w.ReferenceBatch), w.BatchEpochExp)
+}
+
+// ConvergesAt reports whether a global batch is inside the closed
+// division's convergence envelope.
+func (w Workload) ConvergesAt(globalBatch int) bool {
+	return w.MaxGlobalBatch <= 0 || globalBatch <= w.MaxGlobalBatch
+}
+
+// Validate rejects workloads the TTT model cannot price.
+func (w Workload) Validate() error {
+	switch {
+	case w.Name == "":
+		return fmt.Errorf("bench: workload needs a name")
+	case w.Model.RecordBytes <= 0 || w.Model.SingleGPUThroughput <= 0 || w.Model.PerGPUBatch <= 0:
+		return fmt.Errorf("bench: workload %q has an unpriceable model spec", w.Name)
+	case w.DatasetBytes <= 0:
+		return fmt.Errorf("bench: workload %q needs a positive dataset size", w.Name)
+	case w.ReferenceEpochs <= 0 || w.ReferenceBatch <= 0:
+		return fmt.Errorf("bench: workload %q needs reference epochs and batch", w.Name)
+	case w.BatchEpochExp < 0:
+		return fmt.Errorf("bench: workload %q has a negative batch-epoch exponent", w.Name)
+	}
+	return nil
+}
+
+// registry is the process-wide workload table. Builtins are registered
+// at init; experiments may Register more (the "pluggable" contract).
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a workload to the registry. Duplicate names and invalid
+// specs are errors: the registry backs goldens, so silent replacement
+// would be a determinism hazard.
+func Register(w Workload) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[w.Name]; dup {
+		return fmt.Errorf("bench: workload %q already registered", w.Name)
+	}
+	registry[w.Name] = w
+	return nil
+}
+
+// Lookup finds a registered workload by name.
+func Lookup(name string) (Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns the registered workload names, sorted — the canonical
+// iteration order every report uses.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Suite returns all registered workloads in Names order.
+func Suite() []Workload {
+	names := Names()
+	ws := make([]Workload, len(names))
+	for i, n := range names {
+		ws[i], _ = Lookup(n)
+	}
+	return ws
+}
+
+// CosmoFlowWorkload is the suite's storage stressor: a 3D CNN over a
+// ~5 TB volume set whose 16.8 MB records make the input pipeline, not
+// the math, the scaling wall.
+func CosmoFlowWorkload() Workload {
+	return Workload{
+		Name:            "cosmoflow",
+		Title:           "CosmoFlow",
+		Science:         "cosmological parameter regression from N-body volumes",
+		Model:           models.CosmoFlow(),
+		DatasetBytes:    5.1 * units.TB,
+		QualityMetric:   "MAE",
+		TargetQuality:   0.124,
+		ReferenceEpochs: 35,
+		ReferenceBatch:  512,
+		BatchEpochExp:   0.5,
+		MaxGlobalBatch:  16384,
+		OverlapComm:     0.8, JitterPerDoubling: 0.007,
+		FixedOverhead: 0.02,
+	}
+}
+
+// DeepCAMWorkload is the climate-segmentation workload: large dense
+// prediction with fp16 gradient exchange over an 8.8 TB CAM5 archive.
+func DeepCAMWorkload() Workload {
+	return Workload{
+		Name:            "deepcam",
+		Title:           "DeepCAM",
+		Science:         "extreme-weather segmentation on CAM5 fields",
+		Model:           models.DeepLabV3Plus(),
+		DatasetBytes:    8.8 * units.TB,
+		QualityMetric:   "IoU",
+		TargetQuality:   0.82,
+		ReferenceEpochs: 12,
+		ReferenceBatch:  2048,
+		BatchEpochExp:   0.4,
+		MaxGlobalBatch:  8192,
+		GradLag:         true, JitterPerDoubling: 0.008,
+		FixedOverhead: 0.05,
+	}
+}
+
+// OpenCatalystWorkload is the compute/communication stressor: a GNN
+// over millions of tiny molecular graphs, so storage idles while the
+// gather/scatter math and fp32 gradient exchange dominate.
+func OpenCatalystWorkload() Workload {
+	return Workload{
+		Name:            "opencatalyst",
+		Title:           "OpenCatalyst",
+		Science:         "per-atom force prediction for catalyst relaxation",
+		Model:           models.DimeNetPP(),
+		DatasetBytes:    53 * units.GB,
+		QualityMetric:   "forces MAE",
+		TargetQuality:   0.036,
+		ReferenceEpochs: 12,
+		ReferenceBatch:  256,
+		BatchEpochExp:   0.6,
+		MaxGlobalBatch:  4096,
+		OverlapComm:     0.5, JitterPerDoubling: 0.01,
+		FixedOverhead: 0.01,
+		SharedFS:      true, // random graph access defeats staging
+	}
+}
+
+func init() {
+	for _, w := range []Workload{CosmoFlowWorkload(), DeepCAMWorkload(), OpenCatalystWorkload()} {
+		if err := Register(w); err != nil {
+			panic(err)
+		}
+	}
+}

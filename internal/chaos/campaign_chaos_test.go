@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"summitscale/internal/bench"
+	"summitscale/internal/obs"
+	"summitscale/internal/platform"
+)
+
+// TestRunCampaignStorm pins the campaign suite's value claim under the
+// reference storm: with adaptive Daly-interval checkpointing every
+// instance bounds its lost work, so the fault-inflated campaign finishes
+// no later than the no-checkpoint run — and at least one failure-struck
+// instance is materially rescued.
+func TestRunCampaignStorm(t *testing.T) {
+	p := platform.MustLookup("summit")
+	rep, err := RunCampaign(p, CampaignStorm(), 42, bench.DefaultCampaign(p), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fails < 10 {
+		t.Fatalf("storm replayed only %d failure events; scenario no longer stresses the campaign", rep.Fails)
+	}
+	hit := 0
+	for _, ic := range rep.Instances {
+		hit += ic.Failures
+	}
+	if hit == 0 {
+		t.Fatal("no instance absorbed a failure; node mapping is broken")
+	}
+	if rep.Adaptive.Makespan > rep.Naive.Makespan {
+		t.Errorf("adaptive checkpointing lost at machine level: makespan %v > %v",
+			rep.Adaptive.Makespan, rep.Naive.Makespan)
+	}
+	rescued := false
+	for _, ic := range rep.Instances {
+		if ic.Failures > 0 && ic.AdaptiveWall < ic.NaiveWall {
+			rescued = true
+		}
+		if ic.Failures == 0 && ic.AdaptiveWall != ic.NaiveWall {
+			t.Errorf("instance %d saw no failures but policies diverge: %v vs %v",
+				ic.ID, ic.AdaptiveWall, ic.NaiveWall)
+		}
+		if !(ic.AdaptiveEff > 0 && ic.AdaptiveEff <= 1) || !(ic.NaiveEff > 0 && ic.NaiveEff <= 1) {
+			t.Errorf("instance %d efficiency out of (0,1]: adaptive %v naive %v",
+				ic.ID, ic.AdaptiveEff, ic.NaiveEff)
+		}
+	}
+	if !rescued {
+		t.Error("no failure-struck instance was rescued by adaptive checkpointing")
+	}
+	// Failures only inflate walls relative to the failure-free baseline.
+	if rep.Naive.Makespan < rep.Base.Sched.Makespan {
+		t.Errorf("faults shrank the no-checkpoint makespan: %v < baseline %v",
+			rep.Naive.Makespan, rep.Base.Sched.Makespan)
+	}
+}
+
+// TestRunCampaignDeterministic requires the comparison to be a pure
+// function of (platform, scenario, seed, campaign) — byte-identical
+// render at any evaluator width, observer attached or not.
+func TestRunCampaignDeterministic(t *testing.T) {
+	p := platform.MustLookup("summit")
+	c := bench.DefaultCampaign(p)
+	base, err := RunCampaign(p, CampaignStorm(), 7, c, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		rep, err := RunCampaign(p, CampaignStorm(), 7, c, workers, obs.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Render() != base.Render() {
+			t.Fatalf("workers=%d: chaos campaign render differs from serial", workers)
+		}
+	}
+	other, err := RunCampaign(p, CampaignStorm(), 8, c, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Render() == base.Render() {
+		t.Error("seed does not reach the failure schedule")
+	}
+	if s := base.Render(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Fatalf("non-finite chaos campaign output:\n%s", s)
+	}
+}
+
+// TestRunCampaignErrors covers the guard rails.
+func TestRunCampaignErrors(t *testing.T) {
+	p := platform.MustLookup("summit")
+	sc := CampaignStorm()
+	sc.Horizon = 0
+	if _, err := RunCampaign(p, sc, 1, bench.DefaultCampaign(p), 1, nil); err == nil {
+		t.Error("horizonless scenario accepted")
+	}
+	if _, err := RunCampaign(p, CampaignStorm(), 1, bench.Campaign{Name: "empty"}, 1, nil); err == nil {
+		t.Error("empty campaign accepted")
+	}
+}
+
+// TestAssignNodeRanges checks the first-fit allocator invariants on the
+// real schedule: every instance gets exactly its node count, concurrent
+// instances never share a node, and the assignment is deterministic.
+func TestAssignNodeRanges(t *testing.T) {
+	p := platform.MustLookup("summit")
+	base, err := bench.RunCampaign(p, bench.DefaultCampaign(p), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := assignNodeRanges(base, p.Nodes)
+	again := assignNodeRanges(base, p.Nodes)
+	for _, ir := range base.Instances {
+		got := 0
+		for _, s := range ranges[ir.ID] {
+			if s.lo < 0 || s.hi > p.Nodes || s.hi <= s.lo {
+				t.Fatalf("instance %d: bad span [%d,%d)", ir.ID, s.lo, s.hi)
+			}
+			got += s.hi - s.lo
+		}
+		if got != ir.TTT.Nodes {
+			t.Errorf("instance %d allocated %d nodes, want %d", ir.ID, got, ir.TTT.Nodes)
+		}
+		if len(again[ir.ID]) != len(ranges[ir.ID]) {
+			t.Errorf("instance %d: allocator not deterministic", ir.ID)
+		}
+	}
+	// Concurrent instances must hold disjoint nodes.
+	for _, a := range base.Instances {
+		for _, b := range base.Instances {
+			if a.ID >= b.ID || a.End <= b.Start || b.End <= a.Start {
+				continue
+			}
+			for _, sa := range ranges[a.ID] {
+				for n := sa.lo; n < sa.hi; n++ {
+					if inRanges(ranges[b.ID], n) {
+						t.Fatalf("concurrent instances %d and %d both hold node %d", a.ID, b.ID, n)
+					}
+				}
+			}
+		}
+	}
+}

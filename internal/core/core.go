@@ -121,6 +121,7 @@ func buildExperiments() []Experiment {
 	out = append(out, resilienceExperiments()...)
 	out = append(out, chaosExperiments()...)
 	out = append(out, serveExperiments()...)
+	out = append(out, mlperfExperiments()...)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 
+	"summitscale/internal/bench"
 	"summitscale/internal/chaos"
 	"summitscale/internal/obs"
 	"summitscale/internal/parallel"
@@ -99,6 +100,10 @@ func keyChaosReport(p platform.Platform, scenario string) string {
 	return "sub/chaos/report/" + p.Name + "/" + scenario
 }
 
+func keyCampaignStorm(p platform.Platform) string {
+	return "sub/bench/campaign-storm/" + p.Name
+}
+
 // cachedStudy resolves the canonical reconstructed portfolio dataset
 // (the Figure 1–6 input) through the cache.
 func cachedStudy(c *Cache) *portfolio.Dataset {
@@ -133,6 +138,28 @@ func cachedChaosReport(c *Cache, p platform.Platform, scenario string) (*chaos.R
 	return out.rep, out.err
 }
 
+// campaignStormOutcome carries the chaos-campaign replay through the
+// cache; the error is part of the memoized value.
+type campaignStormOutcome struct {
+	rep *chaos.CampaignChaosReport
+	err error
+}
+
+// cachedCampaignStorm resolves the campaign-storm replay (which embeds
+// the failure-free mixed campaign as its Base) for a platform. Observed
+// runs bypass the cache so campaign spans are re-recorded per run.
+func cachedCampaignStorm(c *Cache, p platform.Platform, ob *obs.Observer) (*chaos.CampaignChaosReport, error) {
+	if ob != nil {
+		rep, err := chaos.RunCampaign(p, chaos.CampaignStorm(), mlperfSeed, bench.DefaultCampaign(p), mlperfWorkers, ob)
+		return rep, err
+	}
+	out := c.get(keyCampaignStorm(p), func() any {
+		rep, err := chaos.RunCampaign(p, chaos.CampaignStorm(), mlperfSeed, bench.DefaultCampaign(p), mlperfWorkers, nil)
+		return campaignStormOutcome{rep, err}
+	}).(campaignStormOutcome)
+	return out.rep, out.err
+}
+
 // cachedExperiment wires a cache-aware body as both the plain Run and
 // the DAG RunIn of an experiment: Run is the body with no memoization.
 func cachedExperiment(e Experiment, body func(c *Cache) Result) Experiment {
@@ -162,6 +189,10 @@ func subResultNodes(p platform.Platform) []subResultNode {
 			run: func(c *Cache) { cachedChaosReport(c, p, name) },
 		})
 	}
+	nodes = append(nodes, subResultNode{
+		key: keyCampaignStorm(p),
+		run: func(c *Cache) { cachedCampaignStorm(c, p, nil) },
+	})
 	return nodes
 }
 

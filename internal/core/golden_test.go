@@ -102,6 +102,24 @@ func TestServeGoldenSummit(t *testing.T) {
 	}
 }
 
+// TestMLPerfGoldenSummit pins the benchmark-campaign study: S7 is fully
+// seeded (workload suite, campaign layout, proxy training, and storm
+// schedule are pure functions of the platform and mlperfSeed), so its
+// report must be byte-identical across reruns — at any evaluator width —
+// and match the captured Summit golden.
+func TestMLPerfGoldenSummit(t *testing.T) {
+	for _, e := range MLPerfExperimentsOn(platform.Summit()) {
+		first := RenderResult(e, e.Run())
+		if again := RenderResult(e, e.Run()); again != first {
+			t.Errorf("%s report not reproducible across reruns at fixed seed", e.ID)
+		}
+		want := readGolden(t, "mlperf-"+e.ID+".golden")
+		if first != want {
+			t.Errorf("%s report diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", e.ID, first, want)
+		}
+	}
+}
+
 // TestReportsFiniteOnAllPlatforms runs every sysreq and scaling
 // experiment on every registered machine and rejects NaN/Inf metrics or
 // empty reports.
@@ -115,8 +133,9 @@ func TestReportsFiniteOnAllPlatforms(t *testing.T) {
 		exps = append(exps, ResilienceExperimentsOn(p)...)
 		exps = append(exps, ChaosExperimentsOn(p)...)
 		exps = append(exps, ServeExperimentsOn(p)...)
-		if len(exps) != 13 {
-			t.Fatalf("%s: want 13 experiments, got %d", name, len(exps))
+		exps = append(exps, MLPerfExperimentsOn(p)...)
+		if len(exps) != 14 {
+			t.Fatalf("%s: want 14 experiments, got %d", name, len(exps))
 		}
 		for _, e := range exps {
 			res := e.Run()

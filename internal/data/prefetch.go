@@ -1,6 +1,8 @@
 package data
 
 import (
+	"sync"
+
 	"summitscale/internal/tensor"
 )
 
@@ -17,6 +19,8 @@ type Batch struct {
 type Prefetcher struct {
 	ch   chan Batch
 	stop chan struct{}
+	done chan struct{} // closed when the producer goroutine has exited
+	once sync.Once
 }
 
 // NewPrefetcher starts prefetching the given batches of src with `depth`
@@ -28,8 +32,10 @@ func NewPrefetcher(src ImageSource, batches [][]int, depth int) *Prefetcher {
 	p := &Prefetcher{
 		ch:   make(chan Batch, depth),
 		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	go func() {
+		defer close(p.done)
 		defer close(p.ch)
 		for _, idx := range batches {
 			x, labels := BatchImages(src, idx)
@@ -49,11 +55,16 @@ func (p *Prefetcher) Next() (Batch, bool) {
 	return b, ok
 }
 
-// Close stops the background producer. Safe to call multiple times only
-// if the producer has finished; callers should Close exactly once.
+// Close stops the background producer, drains any batches still in
+// flight, and returns only once the producer goroutine has exited —
+// so a goroutine count taken after Close is leak-meaningful. Safe to
+// call any number of times, with or without the channel drained.
 func (p *Prefetcher) Close() {
-	close(p.stop)
-	// Drain so the producer's pending send (if any) unblocks.
-	for range p.ch {
-	}
+	p.once.Do(func() {
+		close(p.stop)
+		// Drain so the producer's pending send (if any) unblocks.
+		for range p.ch {
+		}
+		<-p.done
+	})
 }

@@ -1,7 +1,9 @@
 package data
 
 import (
+	"runtime"
 	"testing"
+	"time"
 )
 
 func TestPrefetcherDeliversAllBatchesInOrder(t *testing.T) {
@@ -42,6 +44,39 @@ func TestPrefetcherCloseEarly(t *testing.T) {
 		t.Fatal("no first batch")
 	}
 	p.Close() // must not deadlock or leak
+}
+
+// TestPrefetcherCloseNoLeak is the shutdown regression test: Close with
+// undrained batches in flight (the producer blocked mid-send on a full
+// channel) must unwind the producer goroutine before returning, and
+// repeated Close must be a no-op rather than a double-close panic. The
+// goroutine count is polled briefly to absorb unrelated runtime
+// goroutines winding down.
+func TestPrefetcherCloseNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	src := NewSyntheticImages(7, 256, 4, 1, 8)
+	batches := Batches(EpochOrder(8, 0, src.Len()), 4)
+	for i := 0; i < 8; i++ {
+		p := NewPrefetcher(src, batches, 1)
+		if _, ok := p.Next(); !ok {
+			t.Fatal("no first batch")
+		}
+		// Depth 1 and dozens of batches left: the producer is blocked in
+		// its send (or about to be) when Close arrives.
+		p.Close()
+		p.Close() // idempotent: must not panic or hang
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after Close of 8 prefetchers",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func TestPrefetcherDepthClamped(t *testing.T) {

@@ -204,11 +204,46 @@ func GNO() ModelSpec {
 	}
 }
 
+// CosmoFlow is the MLPerf HPC cosmology benchmark network (Farrell et
+// al.): a small 3D CNN regressing four cosmological parameters from
+// 128^3x4 dark-matter density volumes. The record dominates the math —
+// ~16.8 MB of int16-quantized voxels per sample against ~8.4 M
+// parameters — which is what makes it the suite's storage stressor.
+func CosmoFlow() ModelSpec {
+	return ModelSpec{
+		Name:                "CosmoFlow",
+		Params:              8_400_000,
+		GradBytesPerParam:   4,
+		TrainFlopsPerSample: 140 * units.GFlop,
+		RecordBytes:         units.Bytes(2 * 4 * 128 * 128 * 128),
+		PerGPUBatch:         4,
+		SingleGPUThroughput: 190, // => ~27 TF/s/GPU sustained mixed precision
+	}
+}
+
+// DimeNetPP is the MLPerf HPC OpenCatalyst workload's network (DimeNet++
+// in Farrell et al.): a directional message-passing GNN predicting
+// per-atom forces for catalyst relaxations. Records are small molecular
+// graphs, so — opposite to CosmoFlow — compute and gradient exchange
+// dominate while storage idles.
+func DimeNetPP() ModelSpec {
+	return ModelSpec{
+		Name:                "DimeNet++",
+		Params:              1_800_000,
+		GradBytesPerParam:   4,
+		TrainFlopsPerSample: 110 * units.GFlop,
+		RecordBytes:         units.Bytes(4 * 3 * 80 * 24), // ~80-atom graph: positions + edge features
+		PerGPUBatch:         8,
+		SingleGPUThroughput: 75, // GNN gather/scatter sustains far below dense-CNN rates
+	}
+}
+
 // All returns the catalogue.
 func All() []ModelSpec {
 	return []ModelSpec{
 		ResNet50(), BERTLarge(), DeepLabV3Plus(), Tiramisu(), FCDenseNet(),
 		WaveNetGW(), PIGAN(), CVAE(), PointNetAAE(), GNO(),
+		CosmoFlow(), DimeNetPP(),
 	}
 }
 

@@ -130,12 +130,23 @@ func (s *Scheduler) fits(placed []Job, t float64, j Job) bool {
 
 // Stats summarizes a schedule.
 type Stats struct {
-	Makespan     float64
-	Utilization  float64 // node-time used / (TotalNodes * makespan)
+	Makespan float64 // latest job end
+	// FirstStart is the earliest job start: the beginning of the window
+	// the machine is actually in use.
+	FirstStart float64
+	// Utilization is node-time used / (TotalNodes * (Makespan -
+	// FirstStart)). Measuring the denominator from the first start rather
+	// than from t=0 keeps the metric meaningful for campaigns whose first
+	// job submits late: idle time before any job exists is not the
+	// scheduler's to waste.
+	Utilization  float64
 	MeanWait     float64
 	MaxWait      float64
 	HoursByGroup map[string]float64 // node-hours per program
 }
+
+// Span returns the busy window the utilization is measured over.
+func (st Stats) Span() float64 { return st.Makespan - st.FirstStart }
 
 // Summarize computes schedule statistics.
 func (s *Scheduler) Summarize(placed []Job) Stats {
@@ -144,9 +155,13 @@ func (s *Scheduler) Summarize(placed []Job) Stats {
 		return st
 	}
 	var usedNodeTime, waitSum float64
+	st.FirstStart = placed[0].Start
 	for _, j := range placed {
 		if j.End > st.Makespan {
 			st.Makespan = j.End
+		}
+		if j.Start < st.FirstStart {
+			st.FirstStart = j.Start
 		}
 		usedNodeTime += float64(j.Nodes) * j.Walltime
 		w := j.Wait()
@@ -157,8 +172,8 @@ func (s *Scheduler) Summarize(placed []Job) Stats {
 		st.HoursByGroup[j.Program] += j.NodeHours()
 	}
 	st.MeanWait = waitSum / float64(len(placed))
-	if st.Makespan > 0 {
-		st.Utilization = usedNodeTime / (float64(s.TotalNodes) * st.Makespan)
+	if span := st.Span(); span > 0 {
+		st.Utilization = usedNodeTime / (float64(s.TotalNodes) * span)
 	}
 	return st
 }

@@ -164,6 +164,134 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeLateSubmission is the utilization-accounting regression
+// test: a campaign whose first job submits at t=1000 keeps the machine
+// fully busy for its whole [1000, 1010] window, so utilization must be
+// 1.0. The pre-fix metric divided by the makespan measured from t=0 and
+// reported ~1% for exactly this job set.
+func TestSummarizeLateSubmission(t *testing.T) {
+	s := NewScheduler(100)
+	placed := s.Schedule([]Job{
+		{ID: 1, Program: "INCITE", Nodes: 100, Walltime: 10, Submit: 1000},
+		{ID: 2, Program: "ALCC", Nodes: 100, Walltime: 10, Submit: 1000},
+	})
+	st := s.Summarize(placed)
+	if st.FirstStart != 1000 {
+		t.Errorf("first start = %v, want 1000", st.FirstStart)
+	}
+	if st.Makespan != 1020 {
+		t.Errorf("makespan = %v, want 1020", st.Makespan)
+	}
+	if st.Span() != 20 {
+		t.Errorf("span = %v, want 20", st.Span())
+	}
+	if math.Abs(st.Utilization-1) > 1e-9 {
+		t.Errorf("utilization = %v, want 1.0 (late submission must not dilute the denominator)", st.Utilization)
+	}
+}
+
+// TestEqualSubmitCapabilityOrdering pins the full tie-break chain at one
+// submit time: capability (bigger first) when the boost is on, then ID;
+// with the boost off, strict ID order.
+func TestEqualSubmitCapabilityOrdering(t *testing.T) {
+	jobs := []Job{
+		{ID: 3, Nodes: 60, Walltime: 10, Submit: 0},
+		{ID: 1, Nodes: 60, Walltime: 10, Submit: 0},
+		{ID: 2, Nodes: 90, Walltime: 10, Submit: 0},
+	}
+	s := NewScheduler(100)
+	byID := func(placed []Job) map[int]Job {
+		m := map[int]Job{}
+		for _, j := range placed {
+			m[j.ID] = j
+		}
+		return m
+	}
+	got := byID(s.Schedule(jobs))
+	// Boost on: the 90-node job wins the machine first; the equal-size
+	// 60-node pair (which cannot co-schedule on 100 nodes) then
+	// serializes by ID.
+	if got[2].Start != 0 {
+		t.Errorf("capability job starts at %v, want 0", got[2].Start)
+	}
+	if got[1].Start != 10 || got[3].Start != 20 {
+		t.Errorf("equal-size jobs start at %v and %v, want ID order 10, 20", got[1].Start, got[3].Start)
+	}
+	// Boost off: strict ID order at one submit time — the 90-node job
+	// now waits behind job 1.
+	s.CapabilityBoost = false
+	got = byID(s.Schedule(jobs))
+	if got[1].Start != 0 || got[2].Start != 10 || got[3].Start != 20 {
+		t.Errorf("FIFO starts: id1=%v id2=%v id3=%v, want 0, 10, 20",
+			got[1].Start, got[2].Start, got[3].Start)
+	}
+}
+
+// TestExactFillJob: a job wanting exactly the whole machine is legal and
+// schedules as soon as the machine is empty — the >= vs > boundary in
+// fits().
+func TestExactFillJob(t *testing.T) {
+	s := NewScheduler(64)
+	placed := s.Schedule([]Job{
+		{ID: 1, Nodes: 32, Walltime: 5, Submit: 0},
+		{ID: 2, Nodes: 64, Walltime: 5, Submit: 0},
+		{ID: 3, Nodes: 32, Walltime: 5, Submit: 0},
+	})
+	byID := map[int]Job{}
+	for _, j := range placed {
+		byID[j.ID] = j
+	}
+	// Capability boost runs the exact-fill job first, alone; the two
+	// 32-node jobs then share the machine.
+	if byID[2].Start != 0 || byID[2].End != 5 {
+		t.Fatalf("exact-fill job placed [%v, %v], want [0, 5]", byID[2].Start, byID[2].End)
+	}
+	if byID[1].Start != 5 || byID[3].Start != 5 {
+		t.Fatalf("remaining jobs start at %v and %v, want both 5", byID[1].Start, byID[3].Start)
+	}
+	st := s.Summarize(placed)
+	if math.Abs(st.Utilization-1) > 1e-9 {
+		t.Errorf("utilization = %v, want 1.0", st.Utilization)
+	}
+}
+
+// TestBackfillConservative is the "conservative" claim: a gap-filling job
+// may start early only if it cannot delay any earlier placed job. Job 1
+// leaves a 40-node, 10 s gap before job 2's full-machine reservation at
+// t=10; a 10 s candidate fills it exactly, while a 15 s candidate would
+// overlap the reservation and must instead wait until job 2 finishes —
+// job 2's start never moves in either case.
+func TestBackfillConservative(t *testing.T) {
+	base := []Job{
+		{ID: 1, Nodes: 60, Walltime: 10, Submit: 0},
+		{ID: 2, Nodes: 100, Walltime: 50, Submit: 0},
+	}
+	for _, tc := range []struct {
+		wall      float64
+		wantStart float64
+	}{
+		{10, 0},  // fits the gap exactly: backfills at submit
+		{15, 60}, // would delay job 2's t=10 reservation: runs after it
+	} {
+		s := NewScheduler(100)
+		s.CapabilityBoost = false // keep queue order 1, 2, 3
+		jobs := append(append([]Job(nil), base...),
+			Job{ID: 3, Nodes: 40, Walltime: tc.wall, Submit: 0})
+		placed := s.Schedule(jobs)
+		byID := map[int]Job{}
+		for _, j := range placed {
+			byID[j.ID] = j
+		}
+		if byID[2].Start != 10 {
+			t.Fatalf("wall=%v: reserved job delayed to %v (backfill not conservative)",
+				tc.wall, byID[2].Start)
+		}
+		if byID[3].Start != tc.wantStart {
+			t.Errorf("wall=%v: backfill starts at %v, want %v", tc.wall, byID[3].Start, tc.wantStart)
+		}
+	}
+}
+
 // TestOLCFSharesRealized: synthesized workloads hit the paper's ~60/20/20
 // allocation split within tolerance.
 func TestOLCFSharesRealized(t *testing.T) {

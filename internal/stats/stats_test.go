@@ -198,6 +198,24 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeInputs pins the contract at the boundaries: a
+// single-element slice returns its element at every p, and an empty
+// slice panics rather than silently returning a zero a caller might
+// mistake for a real quantile.
+func TestPercentileEdgeInputs(t *testing.T) {
+	for _, p := range []float64{0, 37.5, 100} {
+		if got := Percentile([]float64{-4.25}, p); got != -4.25 {
+			t.Errorf("single-element P%v = %v, want -4.25", p, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(nil, 50) did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
 	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {

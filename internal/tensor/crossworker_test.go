@@ -19,8 +19,7 @@ func TestGemmPackedDeterministicAcrossWorkers(t *testing.T) {
 	m, k, n := 130, 140, 150
 	a := Randn(rng, 1, m, k)
 	b := Randn(rng, 1, k, n)
-	autotuneKC()
-	kc := gemmKC
+	kc := resolveGemmKC()
 
 	run := func(w int) []float64 {
 		pool := parallel.NewWorkerPool(w)

@@ -1,7 +1,10 @@
 package tensor
 
 import (
+	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"summitscale/internal/parallel"
@@ -29,18 +32,78 @@ const (
 	gemmRowChunk = 16
 )
 
-// gemmKC is the k-panel depth, fixed by a one-shot micro-autotune at
-// first use (see autotuneKC). The panel depth only changes traversal
-// order across full k-sweeps, never the per-element accumulation order,
-// so any value is bit-identical to any other.
+// The k-panel depth is resolved per call by resolveGemmKC: an explicit
+// SetGemmKC pin wins, then the GemmKCEnv environment variable, then a
+// one-shot wall-clock micro-autotune (autotuneKC). The panel depth only
+// changes traversal order across full k-sweeps, never the per-element
+// accumulation order, so any value is bit-identical to any other — but
+// the wall-clock autotune makes the *choice* vary run-to-run under load,
+// which is why benchmarks and CI pin it (the perf baseline should not
+// drift because a noisy neighbour skewed a 3-sample timing race).
 var (
+	// gemmKCPin, when positive, overrides autotuning entirely. Atomic so
+	// SetGemmKC is safe against concurrent multiplies under -race.
+	gemmKCPin atomic.Int64
+	// gemmKCAuto caches the autotuned depth; written once under
+	// gemmKCOnce, read atomically on the hot path.
 	gemmKCOnce sync.Once
-	gemmKC     int
+	gemmKCAuto atomic.Int64
+	gemmKCEnv  sync.Once
 )
+
+// GemmKCEnv is the environment variable that pins the GEMM k-panel
+// depth (e.g. SUMMITSCALE_GEMM_KC=256), read once at first multiply.
+// SetGemmKC takes precedence over it.
+const GemmKCEnv = "SUMMITSCALE_GEMM_KC"
 
 // gemmKCCandidates are the panel depths the init-time autotune times.
 // 256 doubles = 2 KiB per packed micro-panel column strip.
 var gemmKCCandidates = [...]int{128, 256, 512}
+
+// SetGemmKC pins the packed GEMM k-panel depth, bypassing the
+// wall-clock autotune; kc <= 0 clears the pin and re-enables it. Every
+// depth produces bit-identical output (TestGemmBitIdenticalAcrossKC),
+// so this is purely a performance/reproducibility-of-timing control.
+func SetGemmKC(kc int) {
+	if kc < 0 {
+		kc = 0
+	}
+	gemmKCPin.Store(int64(kc))
+}
+
+// GemmKC reports the k-panel depth the next multiply will use.
+func GemmKC() int { return resolveGemmKC() }
+
+// resolveGemmKC picks the panel depth: pin, then env, then autotune.
+func resolveGemmKC() int {
+	if v := gemmKCPin.Load(); v > 0 {
+		return int(v)
+	}
+	gemmKCEnv.Do(func() {
+		if kc := gemmKCFromEnv(os.Getenv(GemmKCEnv)); kc > 0 {
+			// CompareAndSwap so an earlier SetGemmKC still wins.
+			gemmKCPin.CompareAndSwap(0, int64(kc))
+		}
+	})
+	if v := gemmKCPin.Load(); v > 0 {
+		return int(v)
+	}
+	autotuneKC()
+	return int(gemmKCAuto.Load())
+}
+
+// gemmKCFromEnv parses a GemmKCEnv value; empty, malformed, or
+// non-positive strings mean "no pin" (0).
+func gemmKCFromEnv(s string) int {
+	if s == "" {
+		return 0
+	}
+	kc, err := strconv.Atoi(s)
+	if err != nil || kc <= 0 {
+		return 0
+	}
+	return kc
+}
 
 // autotuneKC times one mid-sized packed multiply per candidate panel
 // depth and keeps the fastest. It runs once per process, costs a few
@@ -67,7 +130,7 @@ func autotuneKC() {
 			}
 			putPackBuf(packBuf)
 		}
-		gemmKC = best
+		gemmKCAuto.Store(int64(best))
 	})
 }
 
@@ -272,8 +335,7 @@ func gemmPackedRow(dst, a, packed []float64, i, k, n, kc, panelStride int) {
 // the persistent worker pool. Rows are independent, so the result is
 // bit-identical at any worker count.
 func matMulPackedInto(dst, a, b []float64, m, k, n int) {
-	autotuneKC()
-	kc := gemmKC
+	kc := resolveGemmKC()
 	packed := packB(b, k, n, kc)
 	parallel.Shared().RunRange(m, gemmRowChunk, func(lo, hi int) {
 		gemmPackedRows(dst, a, packed, lo, hi, k, n, kc)
@@ -297,8 +359,7 @@ func (t *Tensor) MatMulF32(u *Tensor) *Tensor {
 	if k != k2 {
 		panic("tensor: MatMulF32 inner dimension mismatch")
 	}
-	autotuneKC()
-	kc := gemmKC
+	kc := resolveGemmKC()
 	a32 := narrowF32(t.data)
 	b32 := narrowF32(u.data)
 	dst32 := make([]float32, m*n)

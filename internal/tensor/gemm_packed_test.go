@@ -102,6 +102,54 @@ func TestPackedEveryKC(t *testing.T) {
 	}
 }
 
+// TestGemmBitIdenticalAcrossKC is the determinism contract behind
+// SetGemmKC: pinning any autotune candidate (the knob CI and benchmarks
+// use to silence the wall-clock autotune) leaves both the f64 packed
+// path and the f32 fast path bit-identical to the autotuned run. KC is
+// performance-only; if this ever fails, the autotune's run-to-run
+// variance becomes a correctness hazard instead of a timing nuisance.
+func TestGemmBitIdenticalAcrossKC(t *testing.T) {
+	defer SetGemmKC(0)
+	rng := stats.NewRNG(29)
+	m, k, n := 130, 700, 90 // packed band, k spanning several panels
+	a := Randn(rng, 1, m, k)
+	b := Randn(rng, 1, k, n)
+	SetGemmKC(0) // autotuned baseline
+	want64 := a.MatMul(b)
+	want32 := a.MatMulF32(b)
+	for _, kc := range gemmKCCandidates {
+		SetGemmKC(kc)
+		if got := GemmKC(); got != kc {
+			t.Fatalf("GemmKC() = %d after SetGemmKC(%d)", got, kc)
+		}
+		if !a.MatMul(b).Equal(want64, 0) {
+			t.Fatalf("KC=%d: f64 MatMul not bit-identical to autotuned run", kc)
+		}
+		if !a.MatMulF32(b).Equal(want32, 0) {
+			t.Fatalf("KC=%d: f32 MatMul not bit-identical to autotuned run", kc)
+		}
+	}
+	SetGemmKC(0)
+	if kc := GemmKC(); kc <= 0 {
+		t.Fatalf("autotuned KC = %d after clearing the pin", kc)
+	}
+}
+
+// TestGemmKCFromEnv pins the env-override parse: only well-formed
+// positive integers pin the panel depth.
+func TestGemmKCFromEnv(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", 0}, {"256", 256}, {"1", 1}, {"0", 0}, {"-8", 0}, {"fast", 0}, {"1e3", 0},
+	} {
+		if got := gemmKCFromEnv(tc.in); got != tc.want {
+			t.Errorf("gemmKCFromEnv(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
 // TestMatMulDispatchIdentical pins that MatMul's size dispatch never
 // changes bytes: products straddling both thresholds equal the
 // sequential row-stream kernel exactly.
