@@ -14,16 +14,19 @@ help:
 	@echo "  bench      every benchmark with -benchmem"
 	@echo "  bench-json hot-path benchmarks (RunAll, DAGSchedule, MDForces,"
 	@echo "             TrainStepAlloc, Gemm, ObsHotPath, ChaosHotPath,"
-	@echo "             ServeHotPath, ServeRun, CampaignHotPath) -> BENCH_hotpath.json"
+	@echo "             ServeHotPath, ServeRun, CampaignHotPath,"
+	@echo "             CheckpointDrain) -> BENCH_hotpath.json"
 	@echo "  trace      RS2 campaign trace -> out.json (Chrome trace-event)"
 	@echo "  chaos      every builtin adversarial scenario + invariant suite"
 	@echo "  fuzz-smoke short fuzz pass over the scenario parser, the"
-	@echo "             fault-trace generator, and the serving admission queue"
+	@echo "             fault-trace generator, the serving admission queue,"
+	@echo "             and the checkpoint loader"
 	@echo "  bench-check rerun hot-path benchmarks and fail on >30% regression"
 	@echo "             vs the committed BENCH_hotpath.json"
 	@echo "  bench-floors kernel floor rules only (Gemm 2x, MDForces 1.2x,"
-	@echo "             ServeHotPath batching 2x, CampaignHotPath 1.2x at"
-	@echo "             >=4 cores; TrainStep allocs <=45 always), no baseline"
+	@echo "             ServeHotPath batching 2x, CampaignHotPath 1.2x,"
+	@echo "             CheckpointDrain async 1.5x at >=4 cores;"
+	@echo "             TrainStep allocs <=45 always), no baseline"
 	@echo "  repro      full reproduction report (cmd/summit-repro)"
 	@echo "  examples   run every example once"
 	@echo "  figures    regenerate the paper figures as SVG"
@@ -63,7 +66,7 @@ bench:
 # panel depth is pinned via SUMMITSCALE_GEMM_KC so the wall-clock
 # autotuner can't pick a different blocking per run and shift every
 # GEMM-backed number.
-BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath|ServeHotPath|ServeRun|CampaignHotPath
+BENCH_HOT = RunAll|DAGSchedule|MDForces|TrainStepAlloc|Gemm|ObsHotPath|ChaosHotPath|ServeHotPath|ServeRun|CampaignHotPath|CheckpointDrain
 BENCH_ENV = SUMMITSCALE_GEMM_KC=256
 bench-json:
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem ./... \
@@ -82,14 +85,15 @@ bench-check:
 # Kernel floor rules without a baseline: ratios within one fresh run
 # (packed parallel GEMM >= 2x the serial row-stream, MD forces parallel
 # >= 1.2x serial, serving micro-batch >= 2x single-row dispatch,
-# campaign evaluation parallel >= 1.2x serial — all only enforced when
-# the run recorded >= 4 cores) plus the deterministic
-# TrainStepAlloc/scratch <= 45 allocs/op ceiling. This is what CI's
-# perf-smoke job runs: it works on any runner, even one whose core
-# count differs from the committed baseline's.
+# campaign evaluation parallel >= 1.2x serial, async checkpoint drain
+# >= 1.5x the synchronous stall — all only enforced when the run
+# recorded >= 4 cores) plus the deterministic TrainStepAlloc/scratch
+# <= 45 allocs/op ceiling. This is what CI's perf-smoke job runs: it
+# works on any runner, even one whose core count differs from the
+# committed baseline's.
 bench-floors:
-	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc|ServeHotPath|CampaignHotPath' -benchmem \
-		./internal/tensor/ ./internal/md/ ./internal/ddl/ ./internal/serve/ ./internal/bench/ \
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'Gemm|MDForces|TrainStepAlloc|ServeHotPath|CampaignHotPath|CheckpointDrain' -benchmem \
+		./internal/tensor/ ./internal/md/ ./internal/ddl/ ./internal/serve/ ./internal/bench/ ./internal/checkpoint/ \
 		| $(GO) run ./cmd/summit-bench -floors
 
 # The §V resilience campaign's simulated-clock trace, viewable in
@@ -105,13 +109,15 @@ chaos:
 	$(GO) run ./cmd/summit-chaos -scenario all -check
 
 # Short native-fuzz pass over the inputs untrusted text reaches — the
-# chaos scenario DSL parser and the fault-trace generator — plus the
-# serving admission queue's bookkeeping invariants under arbitrary
-# offer/release interleavings.
+# chaos scenario DSL parser, the fault-trace generator, and the
+# checkpoint loader (arbitrary bytes must never load silently wrong) —
+# plus the serving admission queue's bookkeeping invariants under
+# arbitrary offer/release interleavings.
 fuzz-smoke:
 	$(GO) test ./internal/chaos/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 10s
 	$(GO) test ./internal/faults/ -run '^$$' -fuzz FuzzTraceGenerate -fuzztime 10s
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzAdmissionQueue -fuzztime 10s
+	$(GO) test ./internal/checkpoint/ -run '^$$' -fuzz FuzzCheckpointLoad -fuzztime 10s
 
 # Full reproduction report: every table/figure/study, paper vs measured.
 repro:

@@ -41,6 +41,11 @@ const (
 	// already holds a small rank-world of goroutines, so the fan-out
 	// margin is thinner than a pure kernel's.
 	minCampaignSpeedup = 1.2
+	// minCheckpointDrainSpeedup floors CheckpointDrain sync/async: the
+	// asynchronous tier drain must overlap its deep-tier copies with the
+	// training steps a synchronous drain would stall, so the async path
+	// finishes the same step+commit+drain workload at least 1.5x faster.
+	minCheckpointDrainSpeedup = 1.5
 	// kernelFloorMinProcs is the recorded GOMAXPROCS below which the
 	// speedup floors are skipped (reported, not enforced).
 	kernelFloorMinProcs = 4
@@ -69,6 +74,8 @@ var ratioRules = []ratioRule{
 		"BenchmarkServeHotPath/unbatched", "BenchmarkServeHotPath/batched", minServeBatchSpeedup},
 	{"CampaignHotPath serial/parallel",
 		"BenchmarkCampaignHotPath/serial", "BenchmarkCampaignHotPath/parallel", minCampaignSpeedup},
+	{"CheckpointDrain sync/async",
+		"BenchmarkCheckpointDrain/sync", "BenchmarkCheckpointDrain/async", minCheckpointDrainSpeedup},
 }
 
 // checkKernelFloors enforces the alloc ceiling and every table rule on a
@@ -127,7 +134,7 @@ func runFloors(fresh *document) {
 	lines, failed := checkKernelFloors(fresh)
 	fmt.Printf("kernel floor check (gomaxprocs %d):\n", fresh.Gomaxprocs)
 	if len(lines) == 0 {
-		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, ServeHotPath, CampaignHotPath, TrainStepAlloc)")
+		fmt.Fprintln(os.Stderr, "summit-bench: no kernel-floor benchmarks in stream (need Gemm*, MDForces, ServeHotPath, CampaignHotPath, CheckpointDrain, TrainStepAlloc)")
 		os.Exit(1)
 	}
 	for _, l := range lines {

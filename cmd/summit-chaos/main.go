@@ -12,6 +12,7 @@
 //	summit-chaos -scenario all -check        # every builtin + invariants
 //	summit-chaos -scenario perfect-storm -seed 7 -platform frontier
 //	summit-chaos -scenario perfect-storm -trace out.json -metrics
+//	summit-chaos -scenario sdc-storm -sdc -j 4   # corruption ablation
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 20220523, "RNG seed; the same seed always compiles the same schedule")
 	plat := flag.String("platform", "summit", "machine under test ("+strings.Join(platform.Names(), ", ")+")")
 	check := flag.Bool("check", false, "run the invariant suite (replay determinism, byte conservation, monotone degradation, policies load-bearing) after each scenario")
+	sdc := flag.Bool("sdc", false, "run the silent-data-corruption ablation (clean vs detection-on vs detection-off guarded training) after each scenario's report")
+	jobs := flag.Int("j", 1, "ablation legs to run concurrently (-sdc); the report is identical at any value")
 	list := flag.Bool("list", false, "list builtin scenarios and exit")
 	traceOut := flag.String("trace", "", "write the run's simulated-clock spans as Chrome trace-event JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the obs metrics summary after the report")
@@ -94,6 +97,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(rep.Render())
+		if *sdc {
+			srep, err := chaos.RunSDC(sc, *seed, chaos.SDCConfig{Jobs: *jobs, Obs: ob})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(srep.Render())
+		}
 		if *check {
 			if err := chaos.CheckInvariants(sc, *seed, chaos.Config{Platform: p}); err != nil {
 				fmt.Printf("  INVARIANT VIOLATION: %v\n", err)

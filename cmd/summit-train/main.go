@@ -8,12 +8,16 @@
 //	summit-train -model mlp -ranks 8 -opt lars -fp16
 //	summit-train -model bert -ranks 2 -steps 30
 //	summit-train -model mlp -ranks 4 -trace train.json -metrics
+//	summit-train -model mlp -store ckpts/   # tiered versioned store
+//	summit-train -verify-ckpt model.ckpt    # per-parameter CRC audit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"summitscale/internal/autograd"
@@ -60,10 +64,17 @@ func main() {
 	hier := flag.Int("hier", 0, "hierarchical allreduce island size (0 = flat ring, -1 = platform GPUs/node)")
 	plat := flag.String("platform", "summit", "machine whose node shape sizes -hier -1 islands")
 	ckpt := flag.String("ckpt", "", "checkpoint path: save after training, load first if present")
+	storeDir := flag.String("store", "", "tiered checkpoint store root (nvme/replica/gpfs subdirs): restore the newest restorable version first, commit a new version and drain it to every tier afterwards")
+	verifyCkpt := flag.String("verify-ckpt", "", "verify a checkpoint file's per-parameter CRC sections and exit (non-zero when any section is corrupt)")
 	seed := flag.Uint64("seed", 1, "seed")
 	traceOut := flag.String("trace", "", "write per-rank step/allreduce spans as Chrome trace-event JSON to this file (simulated step clock: 1 s per step)")
 	metrics := flag.Bool("metrics", false, "print the obs metrics summary after training")
 	flag.Parse()
+
+	if *verifyCkpt != "" {
+		verifyCheckpoint(*verifyCkpt)
+		return
+	}
 
 	p, err := platform.Lookup(*plat)
 	if err != nil {
@@ -102,6 +113,19 @@ func main() {
 		}
 	}
 	ckptPath = *ckpt
+	if *storeDir != "" {
+		st, err := checkpoint.NewStore([]checkpoint.TierDir{
+			{Name: "nvme", Dir: filepath.Join(*storeDir, "nvme")},
+			{Name: "replica", Dir: filepath.Join(*storeDir, "replica")},
+			{Name: "gpfs", Dir: filepath.Join(*storeDir, "gpfs")},
+		}, 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "summit-train: store: %v\n", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		ckptStore = st
+	}
 
 	switch *model {
 	case "cnn":
@@ -131,12 +155,56 @@ func main() {
 }
 
 // ckptPath, when non-empty, makes rank 0 load the model before training
-// (if the file exists) and save it afterwards.
-var ckptPath string
+// (if the file exists) and save it afterwards. ckptStore is the tiered
+// alternative (-store): restores prefer the shallowest healthy copy and
+// saves commit a fresh version drained to every tier.
+var (
+	ckptPath  string
+	ckptStore *checkpoint.Store
+)
+
+// verifyCheckpoint audits a checkpoint file's per-parameter CRC sections
+// and exits non-zero when any section fails its checksum.
+func verifyCheckpoint(path string) {
+	sections, err := checkpoint.Verify(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "summit-train: verify: %v\n", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for _, s := range sections {
+		status := "ok"
+		if !s.OK {
+			status = "CORRUPT"
+			bad++
+		}
+		fmt.Printf("  %-24s %8d elems  %s\n", s.Name, s.Elems, status)
+	}
+	fmt.Printf("%s: %d section(s), %d corrupt\n", path, len(sections), bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
 
 // maybeLoad restores the model from the checkpoint when one exists. Every
 // rank loads, so replicas stay identical.
 func maybeLoad(c *mp.Comm, m nn.Module) {
+	if ckptStore != nil {
+		info, err := ckptStore.Restore(m)
+		if err != nil {
+			// A store with no committed versions is a fresh start, not a
+			// failure.
+			if strings.Contains(err.Error(), "no versions") {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "summit-train: store restore: %v\n", err)
+			os.Exit(1)
+		}
+		if c.Rank() == 0 {
+			report("restored checkpoint v%d from %s tier", info.Version, info.TierName)
+		}
+		return
+	}
 	if ckptPath == "" {
 		return
 	}
@@ -154,7 +222,26 @@ func maybeLoad(c *mp.Comm, m nn.Module) {
 
 // maybeSave persists the model from rank 0.
 func maybeSave(c *mp.Comm, m nn.Module) {
-	if ckptPath == "" || c.Rank() != 0 {
+	if c.Rank() != 0 {
+		return
+	}
+	if ckptStore != nil {
+		v := ckptStore.Newest() + 1
+		if v < 1 {
+			v = 1
+		}
+		if err := ckptStore.Save(m, v); err != nil {
+			fmt.Fprintf(os.Stderr, "summit-train: store save: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ckptStore.DrainAll(v); err != nil {
+			fmt.Fprintf(os.Stderr, "summit-train: store drain: %v\n", err)
+			os.Exit(1)
+		}
+		report("committed checkpoint v%d and drained it to every tier", v)
+		return
+	}
+	if ckptPath == "" {
 		return
 	}
 	if err := checkpoint.Save(m, ckptPath); err != nil {

@@ -135,6 +135,14 @@ func CheckInvariants(sc *Scenario, seed uint64, cfg Config) error {
 				m.name, m.mild, m.hw)
 		}
 	}
+
+	// 5. Verified recovery: scenarios that declare silent-corruption
+	// bursts must also prove the detect-and-recover contract end to end.
+	if len(sc.SDCs) > 0 {
+		if err := CheckSDCInvariants(sc, seed, SDCConfig{Obs: cfg.Obs}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

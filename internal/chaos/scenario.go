@@ -81,6 +81,16 @@ type Repair struct {
 	Count int
 }
 
+// SDCBurst is a silent-data-corruption burst: Count corruption events of
+// the given kind scattered (seeded) over [At, At+For). Kind "flip" lowers
+// to gradient/parameter bit flips, "torn" to torn checkpoint drains,
+// "stale" to lost drains leaving deeper tiers serving stale replicas.
+type SDCBurst struct {
+	At, For units.Seconds
+	Count   int
+	Kind    string
+}
+
 // Scenario is one parsed adversarial campaign.
 type Scenario struct {
 	Name    string
@@ -94,6 +104,7 @@ type Scenario struct {
 	Storms     []Storm
 	Outages    []Outage
 	Repairs    []Repair
+	SDCs       []SDCBurst
 }
 
 // Parse reads the scenario DSL: one directive per line, `#` comments,
@@ -258,6 +269,12 @@ func (sc *Scenario) apply(directive string, rest []string) error {
 			return e
 		}
 		sc.Repairs = append(sc.Repairs, Repair{At: dur("at"), Count: count("count")})
+	case "sdc":
+		if e := need("at", "for", "count", "kind"); e != nil {
+			return e
+		}
+		sc.SDCs = append(sc.SDCs, SDCBurst{At: dur("at"), For: dur("for"),
+			Count: count("count"), Kind: kv["kind"]})
 	default:
 		return fmt.Errorf("unknown directive %q", directive)
 	}
@@ -361,6 +378,19 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("chaos: scenario %q: bad repair %+v", sc.Name, r)
 		}
 	}
+	for _, s := range sc.SDCs {
+		if err := window("sdc", s.At, s.At+s.For); err != nil {
+			return err
+		}
+		if s.Count < 1 {
+			return fmt.Errorf("chaos: scenario %q: bad sdc burst %+v", sc.Name, s)
+		}
+		switch s.Kind {
+		case "flip", "torn", "stale":
+		default:
+			return fmt.Errorf("chaos: scenario %q: sdc kind %q not in flip/torn/stale", sc.Name, s.Kind)
+		}
+	}
 	return nil
 }
 
@@ -392,14 +422,24 @@ func (sc *Scenario) Scaled(k float64) *Scenario {
 	for i := range out.Flaps {
 		out.Flaps[i].Factor /= k
 	}
+	out.SDCs = append([]SDCBurst(nil), sc.SDCs...)
+	for i := range out.SDCs {
+		out.SDCs[i].Count = int(math.Ceil(float64(out.SDCs[i].Count) * k))
+	}
 	return &out
 }
 
-// Census renders a one-line directive count.
+// Census renders a one-line directive count. The sdc segment appears
+// only when the scenario declares bursts, so pre-SDC censuses render
+// unchanged.
 func (sc *Scenario) Census() string {
-	return fmt.Sprintf("%d nodes over %v: %d cascade(s), %d flap(s), %d brownout(s), %d storm(s), %d outage(s), %d repair(s)",
+	base := fmt.Sprintf("%d nodes over %v: %d cascade(s), %d flap(s), %d brownout(s), %d storm(s), %d outage(s), %d repair(s)",
 		sc.Nodes, sc.Horizon, len(sc.Cascades), len(sc.Flaps), len(sc.Brownouts),
 		len(sc.Storms), len(sc.Outages), len(sc.Repairs))
+	if len(sc.SDCs) > 0 {
+		base += fmt.Sprintf(", %d sdc burst(s)", len(sc.SDCs))
+	}
+	return base
 }
 
 // builtins are the named scenarios shipped with the engine; RS3 sweeps
@@ -443,6 +483,16 @@ nodes 512
 horizon 24h
 background mtbf 2y shape 1
 outage facility summit from 8h to 14h
+`,
+	"sdc-storm": `
+name sdc-storm
+nodes 64
+horizon 24h
+background mtbf 2y shape 1
+sdc at 2h for 4h count 3 kind flip
+sdc at 9h for 2h count 1 kind torn
+sdc at 14h for 3h count 1 kind stale
+sdc at 19h for 2h count 2 kind flip
 `,
 	"perfect-storm": `
 name perfect-storm

@@ -37,6 +37,9 @@ func (sc *Scenario) Compile(seed uint64) (*Schedule, error) {
 	}
 	root := stats.NewRNG(seed)
 	bgRNG, cascadeRNG, flapRNG, stormRNG := root.Split(), root.Split(), root.Split(), root.Split()
+	// Split AFTER the original four: scenarios without sdc directives
+	// compile to byte-identical schedules (and goldens) either way.
+	sdcRNG := root.Split()
 
 	params := faults.Params{Nodes: sc.Nodes, NodeMTBF: faults.DefaultNodeMTBF, Shape: 1}
 	var events []faults.Event
@@ -106,6 +109,31 @@ func (sc *Scenario) Compile(seed uint64) (*Schedule, error) {
 				Duration: s.At + s.For - onset,
 				Factor:   s.Factor,
 			})
+		}
+	}
+
+	for _, s := range sc.SDCs {
+		rng := sdcRNG.Split()
+		var kind faults.Kind
+		switch s.Kind {
+		case "flip":
+			kind = faults.SilentCorruption
+		case "torn":
+			kind = faults.TornWrite
+		case "stale":
+			kind = faults.StaleReplica
+		}
+		for i := 0; i < s.Count; i++ {
+			e := faults.Event{
+				Time: s.At + units.Seconds(rng.Float64())*s.For,
+				Kind: kind,
+				Node: rng.Intn(sc.Nodes),
+			}
+			if kind == faults.SilentCorruption {
+				e.Word = rng.Intn(1 << 20)
+				e.Bit = rng.Intn(64)
+			}
+			events = append(events, e)
 		}
 	}
 
@@ -179,11 +207,19 @@ func (s *Schedule) FacilityOutages() workflow.FacilityOutages {
 	return out
 }
 
-// Summary renders the schedule census.
+// Summary renders the schedule census. The SDC segment appears only when
+// the trace carries corruption events, keeping pre-SDC summaries stable.
 func (s *Schedule) Summary() string {
-	return fmt.Sprintf("%s seed=%d: %d node-failure, %d straggler, %d link-degrade; %d brownout window(s), %d outage(s), %d repair(s)",
+	base := fmt.Sprintf("%s seed=%d: %d node-failure, %d straggler, %d link-degrade; %d brownout window(s), %d outage(s), %d repair(s)",
 		s.Scenario.Name, s.Seed,
 		s.Trace.Count(faults.NodeFailure), s.Trace.Count(faults.Straggler),
 		s.Trace.Count(faults.LinkDegrade),
 		len(s.Brownouts), len(s.Outages), len(s.Repairs))
+	if n := s.Trace.Count(faults.SilentCorruption) + s.Trace.Count(faults.TornWrite) +
+		s.Trace.Count(faults.StaleReplica); n > 0 {
+		base += fmt.Sprintf("; %d silent-corruption, %d torn-write, %d stale-replica",
+			s.Trace.Count(faults.SilentCorruption), s.Trace.Count(faults.TornWrite),
+			s.Trace.Count(faults.StaleReplica))
+	}
+	return base
 }

@@ -1,58 +1,259 @@
 // Package checkpoint serializes model parameters to disk and restores
-// them — the synchronous checkpoint traffic whose cost appears in the
-// Blanchard study's I/O overhead, implemented as a real file format so
-// training runs in this repository can stop and resume.
+// them — the checkpoint traffic whose cost appears in the Blanchard
+// study's I/O overhead, implemented as a real file format so training
+// runs in this repository can stop and resume. On top of the single-file
+// format, Store (store.go) keeps a versioned, manifest-indexed history
+// across storage tiers (node-local NVMe, partner-node replica, GPFS)
+// with asynchronous drain between tiers, and tiers.go prices the tiers
+// from the platform registry with per-tier Young/Daly cadence.
 //
-// Format:
+// Format (version 2):
 //
-//	[8]  magic "SUMCKPT1"
+//	[8]  magic "SUMCKPT2"
 //	[4]  parameter count
-//	per parameter:
+//	per parameter (a "section"):
 //	  [2] name length, name bytes
 //	  [4] element count, elements as little-endian float64
+//	  [4] crc32 of this section (name length through last element)
 //	[4]  crc32 of everything before it
+//
+// The per-section checksums localize corruption: a flipped bit names the
+// damaged parameter instead of condemning the whole file, which is what
+// lets the tiered store refuse to drain a corrupt checkpoint and lets
+// Verify report exactly which parameters survived.
 package checkpoint
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 
 	"summitscale/internal/nn"
 )
 
-var magic = []byte("SUMCKPT1")
+var magic = []byte("SUMCKPT2")
 
-// Save writes m's parameters to path atomically (via a temp file rename).
+// hashWriter streams bytes to w while tracking the whole-file CRC and a
+// resettable per-section CRC over the same bytes, so Save never builds
+// the file in memory.
+type hashWriter struct {
+	w       io.Writer
+	whole   uint32
+	section uint32
+	n       int64
+}
+
+func (h *hashWriter) Write(p []byte) (int, error) {
+	n, err := h.w.Write(p)
+	h.whole = crc32.Update(h.whole, crc32.IEEETable, p[:n])
+	h.section = crc32.Update(h.section, crc32.IEEETable, p[:n])
+	h.n += int64(n)
+	return n, err
+}
+
+// Save writes m's parameters to path atomically: stream to a temp file,
+// fsync it so the rename can't publish an unwritten file, then rename.
 func Save(m nn.Module, path string) error {
-	params := m.Params()
-	var buf []byte
-	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(params)))
-	for _, p := range params {
-		name := []byte(p.Name)
-		if len(name) > 1<<15 {
-			return fmt.Errorf("checkpoint: parameter name %q too long", p.Name)
-		}
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
-		buf = append(buf, name...)
-		data := p.Value.Data.Data()
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
-		for _, x := range data {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
-		}
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	_, _, err := WriteFile(m, path)
+	return err
+}
 
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("checkpoint: write: %w", err)
+// WriteFile is Save plus the written file's whole-file CRC and size, which
+// the tiered store records in its manifest.
+func WriteFile(m nn.Module, path string) (crc uint32, size int64, err error) {
+	params := m.Params()
+	for _, p := range params {
+		if len(p.Name) > 1<<15 {
+			return 0, 0, fmt.Errorf("checkpoint: parameter name %q too long", p.Name)
+		}
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: create: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriter(f)
+	h := &hashWriter{w: bw}
+	var scratch [8]byte
+	chunk := make([]byte, 1<<15)
+	put16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		_, werr := h.Write(scratch[:2])
+		return werr
+	}
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, werr := h.Write(scratch[:4])
+		return werr
+	}
+	if _, err = h.Write(magic); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err = put32(uint32(len(params))); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+	}
+	for _, p := range params {
+		h.section = 0
+		if err = put16(uint16(len(p.Name))); err != nil {
+			return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+		}
+		if _, err = io.WriteString(h, p.Name); err != nil {
+			return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+		}
+		data := p.Value.Data.Data()
+		if err = put32(uint32(len(data))); err != nil {
+			return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+		}
+		// Encode in chunks: the CRC update and the write both run over
+		// long spans instead of 8 bytes at a time.
+		for len(data) > 0 {
+			n := len(chunk) / 8
+			if n > len(data) {
+				n = len(data)
+			}
+			for j := 0; j < n; j++ {
+				binary.LittleEndian.PutUint64(chunk[8*j:], math.Float64bits(data[j]))
+			}
+			if _, err = h.Write(chunk[:8*n]); err != nil {
+				return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+			}
+			data = data[n:]
+		}
+		// The section CRC covers nameLen..data; writing it below folds it
+		// into the whole-file CRC but not into its own value.
+		if err = put32(h.section); err != nil {
+			return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+		}
+	}
+	crc = h.whole
+	if err = put32(crc); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err = bw.Flush(); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: flush: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	size = h.n
+	if err = f.Close(); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: rename: %w", err)
+		return 0, 0, fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return crc, size, nil
+}
+
+// Section is one parameter's record in a checkpoint file as seen by the
+// structural parser: its name, element count, and whether the stored
+// per-section CRC matches the bytes on disk.
+type Section struct {
+	Name  string
+	Elems int
+	OK    bool
+	data  []float64
+}
+
+// parseSections walks the v2 layout and returns every section with its
+// CRC verdict. Structural damage (bad magic, truncation, duplicate or
+// oversized fields) is an error; a section whose bytes merely fail their
+// checksum parses fine with OK=false, which is what localizes corruption.
+func parseSections(buf []byte) ([]Section, error) {
+	if len(buf) < len(magic)+8 {
+		return nil, fmt.Errorf("checkpoint: file too small")
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if string(body[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	off := len(magic)
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+
+	seen := map[string]bool{}
+	sections := make([]Section, 0, count)
+	for i := 0; i < count; i++ {
+		start := off
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("checkpoint: truncated at parameter %d", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+nameLen+4 > len(body) {
+			return nil, fmt.Errorf("checkpoint: truncated name at parameter %d", i)
+		}
+		name := string(body[off : off+nameLen])
+		off += nameLen
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+8*n+4 > len(body) {
+			return nil, fmt.Errorf("checkpoint: truncated data for %q", name)
+		}
+		data := make([]float64, n)
+		for j := range data {
+			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		stored := binary.LittleEndian.Uint32(body[off:])
+		ok := crc32.ChecksumIEEE(body[start:off]) == stored
+		off += 4
+		if seen[name] {
+			return nil, fmt.Errorf("checkpoint: duplicate parameter %q", name)
+		}
+		seen[name] = true
+		sections = append(sections, Section{Name: name, Elems: n, OK: ok, data: data})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after last parameter", len(body)-off)
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		// Every section verified but the envelope doesn't: the header or a
+		// stored CRC itself took the hit.
+		for _, s := range sections {
+			if !s.OK {
+				return sections, nil
+			}
+		}
+		return nil, fmt.Errorf("checkpoint: checksum mismatch")
+	}
+	return sections, nil
+}
+
+// Verify reports the per-parameter integrity of the checkpoint at path
+// without needing a model to load into. The error covers structural
+// damage only; localized corruption comes back as OK=false sections.
+func Verify(path string) ([]Section, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	return parseSections(buf)
+}
+
+// verifyBytes is the drain-side gate: any structural damage or failed
+// section is an error naming the first casualty.
+func verifyBytes(buf []byte) error {
+	sections, err := parseSections(buf)
+	if err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if !s.OK {
+			return fmt.Errorf("checkpoint: parameter %q corrupt (section checksum mismatch)", s.Name)
+		}
 	}
 	return nil
 }
@@ -65,46 +266,16 @@ func Load(m nn.Module, path string) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: read: %w", err)
 	}
-	if len(buf) < len(magic)+8 {
-		return fmt.Errorf("checkpoint: file too small")
+	sections, err := parseSections(buf)
+	if err != nil {
+		return err
 	}
-	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return fmt.Errorf("checkpoint: checksum mismatch")
-	}
-	if string(body[:len(magic)]) != string(magic) {
-		return fmt.Errorf("checkpoint: bad magic")
-	}
-	off := len(magic)
-	count := int(binary.LittleEndian.Uint32(body[off:]))
-	off += 4
-
-	stored := map[string][]float64{}
-	for i := 0; i < count; i++ {
-		if off+2 > len(body) {
-			return fmt.Errorf("checkpoint: truncated at parameter %d", i)
+	stored := make(map[string][]float64, len(sections))
+	for _, s := range sections {
+		if !s.OK {
+			return fmt.Errorf("checkpoint: parameter %q corrupt (section checksum mismatch)", s.Name)
 		}
-		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
-		off += 2
-		if off+nameLen+4 > len(body) {
-			return fmt.Errorf("checkpoint: truncated name at parameter %d", i)
-		}
-		name := string(body[off : off+nameLen])
-		off += nameLen
-		n := int(binary.LittleEndian.Uint32(body[off:]))
-		off += 4
-		if off+8*n > len(body) {
-			return fmt.Errorf("checkpoint: truncated data for %q", name)
-		}
-		data := make([]float64, n)
-		for j := range data {
-			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
-			off += 8
-		}
-		if _, dup := stored[name]; dup {
-			return fmt.Errorf("checkpoint: duplicate parameter %q", name)
-		}
-		stored[name] = data
+		stored[s.Name] = s.data
 	}
 
 	params := m.Params()

@@ -1,0 +1,84 @@
+// Drain scheduling on the simulated clock: tier-0 snapshots stall
+// training for their write time; deeper tiers are fed either
+// synchronously (training waits while the copy lands) or asynchronously
+// (the copy overlaps the next training segment, and a drain that is
+// still in flight when the next one comes due is deferred rather than
+// queued without bound). Async stall is therefore never worse than sync
+// stall — the invariant the RS5 experiment and the CheckpointDrain
+// benchmark floor both pin.
+package checkpoint
+
+import (
+	"fmt"
+	"strings"
+
+	"summitscale/internal/obs"
+	"summitscale/internal/units"
+)
+
+// DrainOutcome is one horizon of multi-tier checkpointing.
+type DrainOutcome struct {
+	Horizon  units.Seconds
+	Stall    units.Seconds // training pause attributable to checkpointing
+	Commits  []int         // checkpoints landed per tier
+	Deferred int           // async drains skipped because the previous copy was still in flight
+}
+
+// SimulateDrain walks the horizon at tier-0 cadence. Every tier-0 commit
+// stalls training for plans[0].Delta; a deeper tier whose interval has
+// elapsed is serviced at that commit point — inline when async is false,
+// overlapped when true.
+func SimulateDrain(plans []TierPlan, horizon units.Seconds, async bool, ob *obs.Observer) DrainOutcome {
+	if len(plans) == 0 {
+		panic("checkpoint: SimulateDrain needs at least one tier plan")
+	}
+	out := DrainOutcome{Horizon: horizon, Commits: make([]int, len(plans))}
+	due := make([]units.Seconds, len(plans))
+	busyUntil := make([]units.Seconds, len(plans))
+	for i := range due {
+		due[i] = plans[i].Interval
+	}
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	for now := plans[0].Interval; now <= horizon; now += plans[0].Interval {
+		out.Stall += plans[0].Delta
+		out.Commits[0]++
+		ob.Span("ckpt-"+mode, "ckpt", plans[0].Tier.Name, now, plans[0].Delta)
+		for i := 1; i < len(plans); i++ {
+			if now < due[i] {
+				continue
+			}
+			due[i] += plans[i].Interval
+			if !async {
+				out.Stall += plans[i].Delta
+				out.Commits[i]++
+				ob.Span("ckpt-"+mode, "ckpt", plans[i].Tier.Name, now, plans[i].Delta)
+				continue
+			}
+			if busyUntil[i] > now {
+				out.Deferred++
+				ob.Inc("ckpt.drain.deferred")
+				continue
+			}
+			busyUntil[i] = now + plans[i].Delta
+			out.Commits[i]++
+			ob.Span("ckpt-"+mode, "ckpt", plans[i].Tier.Name, now, plans[i].Delta)
+		}
+	}
+	ob.Set(fmt.Sprintf("ckpt.drain.%s_stall_s", mode), float64(out.Stall))
+	return out
+}
+
+// Render formats the outcome against its plans.
+func (o DrainOutcome) Render(plans []TierPlan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  stall %.0fs over %.0fh, %d deferred drain(s); commits:",
+		float64(o.Stall), float64(o.Horizon)/3600, o.Deferred)
+	for i, c := range o.Commits {
+		fmt.Fprintf(&b, " %s=%d", plans[i].Tier.Name, c)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,330 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"summitscale/internal/autograd"
+	"summitscale/internal/nn"
+	"summitscale/internal/platform"
+	"summitscale/internal/stats"
+	"summitscale/internal/units"
+)
+
+func testTiers(t *testing.T) []TierDir {
+	dir := t.TempDir()
+	return []TierDir{
+		{Name: "nvme", Dir: filepath.Join(dir, "nvme")},
+		{Name: "replica", Dir: filepath.Join(dir, "replica")},
+		{Name: "gpfs", Dir: filepath.Join(dir, "gpfs")},
+	}
+}
+
+func testModel(seed uint64) *nn.Sequential {
+	return nn.NewMLP(stats.NewRNG(seed), []int{4, 8, 3}, autograd.Tanh)
+}
+
+func sameParams(t *testing.T, a, b nn.Module) {
+	t.Helper()
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		if !ap[i].Value.Data.Equal(bp[i].Value.Data, 0) {
+			t.Fatalf("parameter %s differs", ap[i].Name)
+		}
+	}
+}
+
+func TestStoreSaveDrainRestore(t *testing.T) {
+	s, err := NewStore(testTiers(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(1)
+	if err := s.Save(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainAll(1); err != nil {
+		t.Fatal(err)
+	}
+	for tier := 0; tier < 3; tier++ {
+		if got := s.Versions(tier); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("tier %d versions = %v, want [1]", tier, got)
+		}
+	}
+	dst := testModel(99)
+	info, err := s.Restore(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.TierName != "nvme" {
+		t.Fatalf("restored %+v, want v1 from nvme", info)
+	}
+	sameParams(t, m, dst)
+}
+
+// A corrupt shallow copy must fall through to the deeper, intact tier —
+// the reason the store exists.
+func TestRestoreFallsThroughCorruptTiers(t *testing.T) {
+	s, err := NewStore(testTiers(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(1)
+	if err := s.Save(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainAll(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CorruptVersion(0, 1, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TruncateVersion(1, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	dst := testModel(99)
+	info, err := s.Restore(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TierName != "gpfs" {
+		t.Fatalf("restored from %s, want gpfs (the only intact copy)", info.TierName)
+	}
+	sameParams(t, m, dst)
+}
+
+// Newer-but-damaged versions lose to an older intact one.
+func TestRestorePrefersNewestRestorable(t *testing.T) {
+	s, err := NewStore(testTiers(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, newer := testModel(1), testModel(2)
+	if err := s.Save(old, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainAll(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(newer, 2); err != nil {
+		t.Fatal(err)
+	}
+	// v2 never drained and its only copy is corrupt: a torn tier-0 write.
+	if err := s.CorruptVersion(0, 2, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	dst := testModel(99)
+	info, err := s.Restore(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("restored v%d, want the intact v1", info.Version)
+	}
+	sameParams(t, old, dst)
+}
+
+// Drain must refuse to propagate a corrupt checkpoint to deeper tiers.
+func TestDrainRefusesCorruptSource(t *testing.T) {
+	s, err := NewStore(testTiers(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testModel(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CorruptVersion(0, 1, 0x20); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Drain(1, 1)
+	if err == nil {
+		t.Fatal("drain propagated a corrupt checkpoint")
+	}
+	if !strings.Contains(err.Error(), "refusing to drain") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := s.Versions(1); len(got) != 0 {
+		t.Fatalf("replica tier has %v after refused drain", got)
+	}
+}
+
+func TestAsyncDrainMatchesSync(t *testing.T) {
+	s, err := NewStore(testTiers(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 3; v++ {
+		if err := s.Save(testModel(uint64(v)), v); err != nil {
+			t.Fatal(err)
+		}
+		s.DrainAllAsync(v)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for tier := 0; tier < 3; tier++ {
+		if got := s.Versions(tier); len(got) != 3 {
+			t.Fatalf("tier %d has versions %v, want 3", tier, got)
+		}
+	}
+}
+
+func TestRetentionPrunes(t *testing.T) {
+	s, err := NewStore(testTiers(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= 5; v++ {
+		if err := s.Save(testModel(uint64(v)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Versions(0); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("tier 0 retains %v, want [4 5]", got)
+	}
+	// Pruned files are actually gone from disk.
+	if _, err := os.Stat(s.VersionPath(0, 1)); !os.IsNotExist(err) {
+		t.Fatal("pruned version still on disk")
+	}
+}
+
+// Reopening a store over the same directories resumes from the durable
+// manifests — the restart path after a crash.
+func TestStoreReopenResumes(t *testing.T) {
+	tiers := testTiers(t)
+	s, err := NewStore(tiers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel(7)
+	if err := s.Save(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainAll(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewStore(tiers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Newest() != 3 {
+		t.Fatalf("reopened store newest = %d, want 3", re.Newest())
+	}
+	dst := testModel(99)
+	if _, err := re.Restore(dst); err != nil {
+		t.Fatal(err)
+	}
+	sameParams(t, m, dst)
+}
+
+func TestVerifyLocalizesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	m := testModel(1)
+	if err := Save(m, path); err != nil {
+		t.Fatal(err)
+	}
+	sections, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != len(m.Params()) {
+		t.Fatalf("%d sections, want %d", len(sections), len(m.Params()))
+	}
+	for _, s := range sections {
+		if !s.OK {
+			t.Fatalf("fresh checkpoint reports %q corrupt", s.Name)
+		}
+	}
+	// Flip one byte mid-file: exactly one section goes bad, the rest stay
+	// verifiably intact — corruption is localized, not all-or-nothing.
+	b, _ := os.ReadFile(path)
+	b[len(b)/2] ^= 0x55
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sections, err = Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, s := range sections {
+		if !s.OK {
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("%d corrupt sections after one flipped byte, want exactly 1", bad)
+	}
+}
+
+func TestTiersForSummit(t *testing.T) {
+	p := platform.MustLookup("summit")
+	tiers := TiersFor(p, 64)
+	if len(tiers) != 3 {
+		t.Fatalf("summit has %d tiers, want 3", len(tiers))
+	}
+	names := []string{"nvme", "replica", "gpfs"}
+	for i, want := range names {
+		if tiers[i].Name != want {
+			t.Fatalf("tier %d = %s, want %s", i, tiers[i].Name, want)
+		}
+		if tiers[i].WriteBW <= 0 || tiers[i].ReadBW <= 0 || tiers[i].MTBF <= 0 {
+			t.Fatalf("tier %s has non-positive pricing: %+v", want, tiers[i])
+		}
+	}
+	// Deeper tiers survive rarer events.
+	if !(tiers[0].MTBF < tiers[1].MTBF && tiers[1].MTBF < tiers[2].MTBF) {
+		t.Fatalf("tier MTBFs not increasing with depth: %v %v %v",
+			tiers[0].MTBF, tiers[1].MTBF, tiers[2].MTBF)
+	}
+}
+
+func TestTiersForDiskless(t *testing.T) {
+	p := platform.MustLookup("juwels-booster")
+	if p.HasNodeLocal() {
+		t.Skip("juwels-booster grew node-local storage")
+	}
+	tiers := TiersFor(p, 64)
+	if len(tiers) != 2 || tiers[0].Name != "replica" || tiers[1].Name != "gpfs" {
+		t.Fatalf("diskless machine tiers = %+v, want [replica gpfs]", tiers)
+	}
+}
+
+func TestPlanTiersIntervalsSpread(t *testing.T) {
+	p := platform.MustLookup("summit")
+	plans := PlanTiers(p, 256, units.Bytes(4*units.TB))
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Interval <= plans[i-1].Interval {
+			t.Fatalf("tier %s interval %v not deeper than %s's %v",
+				plans[i].Tier.Name, plans[i].Interval, plans[i-1].Tier.Name, plans[i-1].Interval)
+		}
+	}
+}
+
+func TestSimulateDrainAsyncNeverStallsMore(t *testing.T) {
+	p := platform.MustLookup("summit")
+	plans := PlanTiers(p, 256, units.Bytes(4*units.TB))
+	horizon := 24 * units.Hour
+	syncOut := SimulateDrain(plans, horizon, false, nil)
+	asyncOut := SimulateDrain(plans, horizon, true, nil)
+	if asyncOut.Stall > syncOut.Stall {
+		t.Fatalf("async stall %v exceeds sync stall %v", asyncOut.Stall, syncOut.Stall)
+	}
+	if syncOut.Commits[0] == 0 {
+		t.Fatal("no tier-0 commits over a day")
+	}
+	// Sync services every due drain inline; async may defer but never
+	// commits more than sync.
+	for i := range plans {
+		if asyncOut.Commits[i] > syncOut.Commits[i] {
+			t.Fatalf("tier %d: async committed %d > sync %d", i, asyncOut.Commits[i], syncOut.Commits[i])
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5", "F6", "B1",
 		"S1", "S2", "S3", "S4", "S5", "IO1", "C1", "R1", "V1", "W1", "W2", "W3",
-		"RS1", "RS2", "RS3", "RS4", "S6", "S7"}
+		"RS1", "RS2", "RS3", "RS4", "RS5", "S6", "S7"}
 	exps := Experiments()
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))

@@ -104,6 +104,13 @@ func keyCampaignStorm(p platform.Platform) string {
 	return "sub/bench/campaign-storm/" + p.Name
 }
 
+// keySDCReport is platform-free: the guarded-training ablation injects
+// bit flips into an executable run and never consults the fabric, so
+// every machine shares one canonical report.
+func keySDCReport() string {
+	return "sub/chaos/sdc/sdc-storm"
+}
+
 // cachedStudy resolves the canonical reconstructed portfolio dataset
 // (the Figure 1–6 input) through the cache.
 func cachedStudy(c *Cache) *portfolio.Dataset {
@@ -160,6 +167,27 @@ func cachedCampaignStorm(c *Cache, p platform.Platform, ob *obs.Observer) (*chao
 	return out.rep, out.err
 }
 
+// sdcOutcome carries the silent-data-corruption ablation through the
+// cache; the error is part of the memoized value.
+type sdcOutcome struct {
+	rep *chaos.SDCReport
+	err error
+}
+
+// cachedSDCReport resolves the guarded-training SDC ablation of one
+// scenario at the study seed.
+func cachedSDCReport(c *Cache, scenario string) (*chaos.SDCReport, error) {
+	out := c.get(keySDCReport(), func() any {
+		sc, err := chaos.Builtin(scenario)
+		if err != nil {
+			return sdcOutcome{nil, err}
+		}
+		rep, err := chaos.RunSDC(sc, resilienceSeed, chaos.SDCConfig{})
+		return sdcOutcome{rep, err}
+	}).(sdcOutcome)
+	return out.rep, out.err
+}
+
 // cachedExperiment wires a cache-aware body as both the plain Run and
 // the DAG RunIn of an experiment: Run is the body with no memoization.
 func cachedExperiment(e Experiment, body func(c *Cache) Result) Experiment {
@@ -192,6 +220,10 @@ func subResultNodes(p platform.Platform) []subResultNode {
 	nodes = append(nodes, subResultNode{
 		key: keyCampaignStorm(p),
 		run: func(c *Cache) { cachedCampaignStorm(c, p, nil) },
+	})
+	nodes = append(nodes, subResultNode{
+		key: keySDCReport(),
+		run: func(c *Cache) { cachedSDCReport(c, "sdc-storm") },
 	})
 	return nodes
 }

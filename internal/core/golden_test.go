@@ -134,8 +134,8 @@ func TestReportsFiniteOnAllPlatforms(t *testing.T) {
 		exps = append(exps, ChaosExperimentsOn(p)...)
 		exps = append(exps, ServeExperimentsOn(p)...)
 		exps = append(exps, MLPerfExperimentsOn(p)...)
-		if len(exps) != 14 {
-			t.Fatalf("%s: want 14 experiments, got %d", name, len(exps))
+		if len(exps) != 15 {
+			t.Fatalf("%s: want 15 experiments, got %d", name, len(exps))
 		}
 		for _, e := range exps {
 			res := e.Run()

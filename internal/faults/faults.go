@@ -38,6 +38,19 @@ const (
 	// LinkDegrade is a transient loss of network bandwidth on one node's
 	// injection path: link bandwidth is multiplied by Factor for Duration.
 	LinkDegrade
+	// SilentCorruption is an undetected bit flip in live training state
+	// (a gradient or parameter word) on one node: the job keeps running
+	// on wrong numbers until a detection guard catches it — the failure
+	// class Laanait et al. hit at full-machine scale. Word and Bit say
+	// where the flip lands.
+	SilentCorruption
+	// TornWrite is a checkpoint write cut off mid-file (node loss or
+	// filesystem hiccup during the drain): the copy exists but is
+	// truncated, detectable only by verification.
+	TornWrite
+	// StaleReplica is a partner-node replica that silently missed its
+	// drain window: the tier quietly serves an old version.
+	StaleReplica
 )
 
 // String names the kind.
@@ -49,6 +62,12 @@ func (k Kind) String() string {
 		return "straggler"
 	case LinkDegrade:
 		return "link-degrade"
+	case SilentCorruption:
+		return "silent-corruption"
+	case TornWrite:
+		return "torn-write"
+	case StaleReplica:
+		return "stale-replica"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -66,6 +85,11 @@ type Event struct {
 	// stragglers, bandwidth multiplier (<1) for degraded links. Zero for
 	// node failures.
 	Factor float64
+	// Word and Bit locate a SilentCorruption flip: the flat word index
+	// (modulo the victim buffer's length at injection time) and the bit
+	// within it. Zero for other kinds.
+	Word int
+	Bit  int
 }
 
 // Params parameterizes trace generation for one machine/job shape.
@@ -91,6 +115,20 @@ type Params struct {
 	LinkFactor float64
 	// LinkDuration is the episode length.
 	LinkDuration units.Seconds
+	// SDCMTBE is the per-node mean time between silent-corruption flips;
+	// zero (the default) disables the class, which keeps every trace
+	// generated before the class existed byte-identical.
+	SDCMTBE units.Seconds
+	// SDCWords is the nominal flat state size flips land in (Word is
+	// drawn from [0, SDCWords)); consumers reduce it modulo their real
+	// buffer length.
+	SDCWords int
+	// TornWriteMTBE is the per-node mean time between torn checkpoint
+	// writes; zero disables.
+	TornWriteMTBE units.Seconds
+	// StaleReplicaMTBE is the per-node mean time between silently missed
+	// replica drains; zero disables.
+	StaleReplicaMTBE units.Seconds
 }
 
 // DefaultNodeMTBF is used when a machine description does not specify
@@ -159,8 +197,10 @@ func (p Params) Generate(seed uint64, horizon units.Seconds) *Trace {
 	}
 	root := stats.NewRNG(seed)
 	// Independent streams per process so adding one fault class never
-	// perturbs another class's schedule.
+	// perturbs another class's schedule. The SDC streams split AFTER the
+	// original three: traces that predate the class stay byte-identical.
 	failRNG, stragRNG, linkRNG := root.Split(), root.Split(), root.Split()
+	sdcRNG, tornRNG, staleRNG := root.Split(), root.Split(), root.Split()
 
 	tr := &Trace{Params: p, Seed: seed, Horizon: horizon}
 
@@ -203,6 +243,38 @@ func (p Params) Generate(seed uint64, horizon units.Seconds) *Trace {
 	}
 	transient(stragRNG, p.StragglerMTBE, Straggler, p.StragglerDuration, p.StragglerFactor)
 	transient(linkRNG, p.LinkMTBE, LinkDegrade, p.LinkDuration, p.LinkFactor)
+
+	// Silent-data-corruption classes: instantaneous events (no Duration
+	// or Factor); flips carry a word/bit target.
+	sdc := func(rng *stats.RNG, mtbe units.Seconds, kind Kind) {
+		if mtbe <= 0 {
+			return
+		}
+		mean := float64(mtbe) / float64(p.Nodes)
+		words := p.SDCWords
+		if words <= 0 {
+			words = 1
+		}
+		for t := 0.0; ; {
+			t += mean * rng.ExpFloat64()
+			if t >= float64(horizon) {
+				break
+			}
+			e := Event{
+				Time: units.Seconds(t),
+				Kind: kind,
+				Node: rng.Intn(p.Nodes),
+			}
+			if kind == SilentCorruption {
+				e.Word = rng.Intn(words)
+				e.Bit = rng.Intn(64)
+			}
+			tr.Events = append(tr.Events, e)
+		}
+	}
+	sdc(sdcRNG, p.SDCMTBE, SilentCorruption)
+	sdc(tornRNG, p.TornWriteMTBE, TornWrite)
+	sdc(staleRNG, p.StaleReplicaMTBE, StaleReplica)
 
 	sort.SliceStable(tr.Events, func(i, j int) bool {
 		return tr.Events[i].Time < tr.Events[j].Time
@@ -285,10 +357,17 @@ func (t *Trace) LinkFactorAt(at units.Seconds) float64 {
 	return worst
 }
 
-// Summary renders a one-line census of the trace.
+// Summary renders a one-line census of the trace. The SDC segment only
+// appears when the trace carries those classes, so pre-SDC summaries —
+// and the goldens pinning them — are unchanged.
 func (t *Trace) Summary() string {
-	return fmt.Sprintf("seed=%d horizon=%v events: %d node-failure, %d straggler, %d link-degrade (system MTBF %v)",
-		t.Seed, t.Horizon, t.Count(NodeFailure), t.Count(Straggler), t.Count(LinkDegrade), t.Params.SystemMTBF())
+	s := fmt.Sprintf("seed=%d horizon=%v events: %d node-failure, %d straggler, %d link-degrade",
+		t.Seed, t.Horizon, t.Count(NodeFailure), t.Count(Straggler), t.Count(LinkDegrade))
+	if n := t.Count(SilentCorruption) + t.Count(TornWrite) + t.Count(StaleReplica); n > 0 {
+		s += fmt.Sprintf(", %d silent-corruption, %d torn-write, %d stale-replica",
+			t.Count(SilentCorruption), t.Count(TornWrite), t.Count(StaleReplica))
+	}
+	return s + fmt.Sprintf(" (system MTBF %v)", t.Params.SystemMTBF())
 }
 
 // Render lists every event, one per line — the trace exchange format
@@ -298,8 +377,11 @@ func (t *Trace) Render() string {
 	fmt.Fprintf(&b, "# fault trace %s\n", t.Summary())
 	for _, e := range t.Events {
 		switch e.Kind {
-		case NodeFailure:
+		case NodeFailure, TornWrite, StaleReplica:
 			fmt.Fprintf(&b, "%12.1f  %-12s node %d\n", float64(e.Time), e.Kind, e.Node)
+		case SilentCorruption:
+			fmt.Fprintf(&b, "%12.1f  %-12s node %d  word %d bit %d\n",
+				float64(e.Time), e.Kind, e.Node, e.Word, e.Bit)
 		default:
 			fmt.Fprintf(&b, "%12.1f  %-12s node %d  %.0fs x%.2f\n",
 				float64(e.Time), e.Kind, e.Node, float64(e.Duration), e.Factor)

@@ -1,0 +1,69 @@
+package mp
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultABFTTol is the relative tolerance used by AllReduceRingChecked
+// when the caller passes tol <= 0. The guard and the payload sum are the
+// same quantity accumulated in different orders, so they disagree only by
+// floating-point reassociation — parts in 1e12 of the magnitude for
+// gradient-sized vectors — while a single flipped mantissa bit in a
+// normal-range value shifts the sum by parts in 1e3 or more.
+const DefaultABFTTol = 1e-9
+
+// TamperFunc mutates one rank's in-flight contribution to a checked
+// collective. Fault injection calls it after the guard element is
+// computed, so the damage it does is exactly what the guard must catch.
+type TamperFunc func(rank int, data []float64)
+
+// AllReduceRingChecked is AllReduceRing with an ABFT-style element-sum
+// guard carried through the reduction. Each rank appends the sum of its
+// local vector as one extra element; the ring reduces payload and guard
+// together, and afterwards the reduced guard must equal the sum of the
+// reduced payload to within a relative tolerance. Corruption of any
+// payload element on any rank — in local compute before the collective
+// or on the wire via tamper — breaks that identity and is reported as an
+// error on every rank, because the reduced vector (and so the mismatch)
+// is identical everywhere.
+//
+// The guard adds one element to a ring that moves 2(P-1)/P · N elements
+// per rank: overhead ~2/N, unmeasurable at gradient sizes. tol <= 0
+// selects DefaultABFTTol. tamper may be nil.
+func (c *Comm) AllReduceRingChecked(data []float64, tol float64, tamper TamperFunc) ([]float64, error) {
+	if tol <= 0 {
+		tol = DefaultABFTTol
+	}
+	guarded := make([]float64, len(data)+1)
+	copy(guarded, data)
+	var local float64
+	for _, v := range data {
+		local += v
+	}
+	guarded[len(data)] = local
+	if tamper != nil {
+		// Tamper after the guard is sealed: the hook models corruption the
+		// checksum must detect, so it may touch only the payload span.
+		tamper(c.rank, guarded[:len(data)])
+	}
+	red := c.AllReduceRing(guarded)
+	payload, guard := red[:len(data)], red[len(data)]
+
+	var sum float64
+	for _, v := range payload {
+		sum += v
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) || math.IsNaN(guard) || math.IsInf(guard, 0) {
+		return nil, fmt.Errorf("mp: abft guard non-finite (sum %v, guard %v)", sum, guard)
+	}
+	scale := math.Abs(sum) + math.Abs(guard)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(sum-guard) > tol*scale {
+		return nil, fmt.Errorf("mp: abft checksum mismatch: payload sums to %g, guard says %g (rel err %.3g, tol %.3g)",
+			sum, guard, math.Abs(sum-guard)/scale, tol)
+	}
+	return payload, nil
+}
